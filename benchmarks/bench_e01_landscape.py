@@ -1,0 +1,46 @@
+"""E1 — Figures 1 and 2: the node-averaged complexity landscape.
+
+Regenerates both landscape tables (before/after this paper) and, for the
+dense regions, a sample of concrete problems realizing target exponents
+(the red bars of Figure 2)."""
+
+from harness import record_table
+
+from repro.analysis import find_logstar_problem, find_poly_problem, landscape_regions
+
+
+def build_tables():
+    before = [(r.kind, r.low, r.high, r.source) for r in landscape_regions(False)]
+    after = [(r.kind, r.low, r.high, r.source) for r in landscape_regions(True)]
+    density = []
+    for r1, r2 in [(0.05, 0.07), (0.2, 0.22), (0.3, 0.33), (0.45, 0.5)]:
+        p = find_poly_problem(r1, r2)
+        density.append(
+            ("poly", f"({r1},{r2})", f"D={p.delta},d={p.d},k={p.k}",
+             f"{p.exponent_lower:.4f}")
+        )
+    for r1, r2 in [(0.3, 0.5), (0.55, 0.7), (0.8, 0.95)]:
+        q = find_logstar_problem(r1, r2, 0.05)
+        density.append(
+            ("log*", f"({r1},{r2})",
+             f"D={q.delta},d={q.d},k={q.k}",
+             f"[{q.exponent_lower:.4f},{q.exponent_upper:.4f}]")
+        )
+    return before, after, density
+
+
+def test_e01_landscape(benchmark):
+    before, after, density = benchmark(build_tables)
+    record_table("e01_before", "E1a: landscape before (Figure 1)",
+                 ["kind", "low", "high", "source"], before)
+    record_table("e01_after", "E1b: landscape after (Figure 2)",
+                 ["kind", "low", "high", "source"], after)
+    record_table("e01_density", "E1c: density witnesses (red bars)",
+                 ["regime", "window", "params", "exponent"], density)
+    assert len(after) > len(before)
+    assert sum(1 for k, *_ in after if k == "gap") == 3
+    # every witness exponent falls inside its window
+    for regime, window, params, expo in density:
+        lo, hi = eval(window)
+        val = float(expo.strip("[]").split(",")[0])
+        assert lo <= val <= hi + 0.05

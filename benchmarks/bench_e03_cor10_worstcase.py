@@ -1,0 +1,51 @@
+"""E3 — Corollary 10: k-hierarchical 3½-coloring has *worst-case*
+complexity Theta(log* n): the max per-node round count of the generic
+algorithm tracks log* n (through the Cole-Vishkin schedule) and stays
+orders of magnitude below the n^{1/k} worst case of the 2½ sibling."""
+
+import random
+
+from harness import record_table
+
+from repro.algorithms import (
+    cv_total_rounds,
+    default_gammas_25,
+    default_gammas_35,
+    run_generic_fast_forward,
+)
+from repro.constructions import build_lower_bound_graph
+from repro.constructions.lowerbound import paper_lengths
+from repro.local import id_space_size, random_ids
+
+
+def run_point(n_target: int, k: int, variant: str):
+    lengths = paper_lengths(n_target, [0.33] * (k - 1), "poly")
+    lb = build_lower_bound_graph(lengths)
+    ids = random_ids(lb.graph.n, rng=random.Random(1))
+    gammas = (
+        default_gammas_25(lb.graph.n, k)
+        if variant == "2.5"
+        else default_gammas_35(lb.graph.n, k)
+    )
+    tr = run_generic_fast_forward(lb.graph, ids, k, gammas, variant)
+    return lb.graph.n, tr.worst_case()
+
+
+def test_e03_cor10(benchmark):
+    benchmark(run_point, 2_000, 2, "3.5")
+    rows = []
+    worst35, worst25 = [], []
+    for n_target in (2_000, 20_000, 200_000):
+        n, w35 = run_point(n_target, 2, "3.5")
+        _, w25 = run_point(n_target, 2, "2.5")
+        cv = cv_total_rounds(id_space_size(n))
+        rows.append((n, w35, cv, w25, int(round(n**0.5))))
+        worst35.append(w35)
+        worst25.append(w25)
+    record_table(
+        "e03", "E3: Cor. 10 — worst case of 3.5 is Theta(log* n); 2.5 is poly",
+        ["n", "worst 3.5", "CV rounds", "worst 2.5", "sqrt(n)"], rows,
+    )
+    # 3.5 worst case flat; 2.5 worst case grows polynomially
+    assert worst35[-1] <= worst35[0] + 6
+    assert worst25[-1] >= 4 * worst25[0] / 2

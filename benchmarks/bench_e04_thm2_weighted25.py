@@ -1,0 +1,70 @@
+"""E4 — Theorems 2/3: ``Pi^{2.5}_{Delta,d,k}`` has node-averaged
+complexity Theta(n^{alpha_1}), alpha_1 = 1/sum_j (2-x)^j.
+
+Sweep the weighted construction (Definition 25) under A_poly and fit the
+exponent.  Reported both raw and with the known additive Algorithm-A
+overhead (R = 3 log_{d+1} n + 3, paid by every weight node) subtracted —
+the adjusted fit is the asymptotically meaningful one at these sizes."""
+
+import random
+
+from harness import adjusted_average, record_table
+
+from repro.algorithms import run_apoly
+from repro.analysis import (
+    alpha1_poly,
+    alpha_vector_poly,
+    efficiency_factor,
+    fit_power_law,
+    geometric_range,
+)
+from repro.constructions import build_weighted_construction
+from repro.constructions.lowerbound import paper_lengths
+from repro.lcl import Weighted25
+from repro.local import random_ids
+
+GRID = [(5, 2, 2), (9, 4, 2), (5, 2, 3)]
+
+
+def run_point(n_target: int, delta: int, d: int, k: int, seed: int = 3):
+    x = efficiency_factor(delta, d)
+    lengths = paper_lengths(n_target // k, alpha_vector_poly(x, k))
+    wi = build_weighted_construction(lengths, delta, n_target // k)
+    ids = random_ids(wi.n, rng=random.Random(seed))
+    tr = run_apoly(wi.graph, ids, delta, d, k)
+    Weighted25(delta, d, k).verify(wi.graph, tr.outputs).raise_if_invalid()
+    wfrac = len(wi.weight_nodes()) / wi.n
+    return wi.n, tr.node_averaged(), adjusted_average(
+        tr.node_averaged(), wi.n, d, wfrac
+    )
+
+
+def test_e04_thm2(benchmark):
+    benchmark(run_point, 3_000, 5, 2, 2)
+    rows = []
+    fits = []
+    for delta, d, k in GRID:
+        x = efficiency_factor(delta, d)
+        a1 = alpha1_poly(x, k)
+        ns, avgs, adjs = [], [], []
+        for n_target in geometric_range(4_000, 120_000, 5):
+            n, avg, adj = run_point(n_target, delta, d, k)
+            ns.append(n)
+            avgs.append(avg)
+            adjs.append(max(adj, 1e-9))
+        raw_fit, _ = fit_power_law(ns, avgs)
+        adj_fit, _ = fit_power_law(ns, adjs)
+        fits.append((a1, raw_fit, adj_fit))
+        rows.append(
+            (f"D={delta},d={d},k={k}", f"{x:.3f}", f"{a1:.3f}",
+             f"{raw_fit:.3f}", f"{adj_fit:.3f}")
+        )
+    record_table(
+        "e04", "E4: Thm 2/3 — Pi^2.5 node-averaged exponent (fit over n)",
+        ["params", "x", "alpha1 (pred)", "fit raw", "fit adj"], rows,
+    )
+    for a1, raw, adj in fits:
+        # the adjusted exponent reproduces the predicted one within 30%
+        assert abs(adj - a1) <= 0.3 * a1 + 0.05, (a1, raw, adj)
+        # and the growth is genuinely polynomial (not log-like)
+        assert raw >= 0.4 * a1, (a1, raw, adj)

@@ -1,0 +1,61 @@
+"""E7 — Theorem 6: the sub-log* regime is infinitely dense with an
+epsilon-certified upper/lower gap (Lemma 62's Delta,d scaling)."""
+
+from harness import record_table
+
+from repro.analysis import (
+    efficiency_factor,
+    efficiency_factor_relaxed,
+    find_logstar_problem,
+    params_for_rational_x,
+)
+
+WINDOWS = [
+    (0.30, 0.45, 0.05),
+    (0.50, 0.60, 0.03),
+    (0.60, 0.75, 0.02),
+    (0.80, 0.95, 0.02),
+    (0.55, 0.56, 0.01),
+]
+
+
+def build_rows():
+    rows = []
+    for r1, r2, eps in WINDOWS:
+        q = find_logstar_problem(r1, r2, eps)
+        rows.append(
+            (f"({r1},{r2})", eps, q.delta, q.d, q.k,
+             f"{q.exponent_lower:.4f}", f"{q.exponent_upper:.4f}",
+             f"{q.exponent_upper - q.exponent_lower:.4f}")
+        )
+    return rows
+
+
+def scaling_rows():
+    rows = []
+    for scale in (1, 2, 3, 4, 6):
+        delta, d = params_for_rational_x(1, 2, scale)
+        x = efficiency_factor(delta, d)
+        xp = efficiency_factor_relaxed(delta, d)
+        rows.append((scale, delta, d, f"{x:.4f}", f"{xp:.4f}", f"{xp - x:.5f}"))
+    return rows
+
+
+def test_e07_thm6(benchmark):
+    rows = benchmark(build_rows)
+    record_table(
+        "e07", "E7: Theorem 6 — density witnesses in the log* regime",
+        ["window", "eps", "Delta", "d", "k", "c (lower)", "c+gap (upper)", "gap"],
+        rows,
+    )
+    srows = scaling_rows()
+    record_table(
+        "e07_lemma62", "E7b: Lemma 62 — the x'-x gap shrinks with scaling",
+        ["scale", "Delta", "d", "x", "x'", "x'-x"], srows,
+    )
+    for window, eps, delta, d, k, lo, hi, gap in rows:
+        r1, r2 = eval(window)
+        assert r1 <= float(lo) <= r2 + eps
+        assert float(gap) < eps
+    gaps = [float(r[-1]) for r in srows]
+    assert gaps == sorted(gaps, reverse=True)

@@ -1,0 +1,85 @@
+"""E8 — Lemma 23 / Corollary 24: weight-tree efficiency.
+
+On a balanced Delta-regular tree of w weight nodes whose root is forced
+to copy, the *minimum* number of Copy nodes is Theta(w^x),
+x = log(Delta-1-d)/log(Delta-1).  The exact tree-DP measures the minimum;
+the measured exponent is fitted against x.  Also checks Corollary 24's
+even-split superadditivity: splitting w over l trees forces
+w^x * l^{1-x} >= w^x copies in total."""
+
+import math
+import random
+from collections import deque
+
+from harness import record_table
+
+from repro.algorithms import run_algorithm_a
+from repro.analysis import fit_power_law
+from repro.lcl.dfree import A_INPUT, COPY, W_INPUT
+from repro.local import Graph
+
+PARAMS = [(5, 2), (6, 3), (9, 4)]
+
+
+def regular_weight_tree(w: int, delta: int) -> Graph:
+    edges = []
+    frontier = deque([0])
+    nxt, remaining = 1, w - 1
+    while remaining > 0:
+        p = frontier.popleft()
+        for _ in range(delta - 1):
+            if remaining == 0:
+                break
+            edges.append((p, nxt))
+            frontier.append(nxt)
+            nxt += 1
+            remaining -= 1
+    return Graph(w, edges, [A_INPUT] + [W_INPUT] * (w - 1))
+
+
+def min_copies(w: int, delta: int, d: int) -> int:
+    sol = run_algorithm_a(regular_weight_tree(w, delta), d, optimal=True)
+    return sol.outputs.count(COPY)
+
+
+def test_e08_lemma23(benchmark):
+    benchmark(min_copies, 500, 5, 2)
+    rows, fits = [], []
+    for delta, d in PARAMS:
+        x = math.log(delta - 1 - d) / math.log(delta - 1)
+        ws = [200, 1000, 5000, 25000]
+        copies = [min_copies(w, delta, d) for w in ws]
+        fit, _ = fit_power_law(ws, copies)
+        fits.append((x, fit))
+        for w, c in zip(ws, copies):
+            rows.append((f"D={delta},d={d}", w, c, f"{w**x:.1f}", f"{x:.3f}", f"{fit:.3f}"))
+    record_table(
+        "e08", "E8: Lemma 23 — minimum Copy count on balanced weight trees",
+        ["params", "w", "min copies", "w^x", "x (pred)", "x (fit)"], rows,
+    )
+    for x, fit in fits:
+        assert abs(fit - x) <= 0.15 + 0.1 * x, (x, fit)
+
+
+def test_e08_cor24_split(benchmark):
+    # splitting weight over l trees multiplies forced copies by l^{1-x}
+    delta, d = 5, 2
+    x = math.log(delta - 1 - d) / math.log(delta - 1)
+    w_total = 8000
+    rows = []
+    vals = []
+    for l in (1, 2, 4, 8):
+        per_tree = min_copies(w_total // l, delta, d)
+        total = per_tree * l
+        pred = (w_total / l) ** x * l
+        rows.append((l, total, f"{pred:.1f}", f"{w_total**x:.1f}"))
+        vals.append(total)
+    benchmark(min_copies, w_total // 8, delta, d)
+    record_table(
+        "e08_cor24", "E8b: Cor. 24 — even split maximizes forced copies",
+        ["trees l", "total copies", "w^x l^(1-x)", "w^x (single)"], rows,
+    )
+    # more trees force more copies overall (the DP count is a step
+    # function of w, so adjacent points may tie)
+    assert vals[-1] >= 1.5 * vals[0]
+    assert all(b >= a * 0.8 for a, b in zip(vals, vals[1:]))

@@ -1,0 +1,73 @@
+"""E9 — Lemma 40: Algorithm A's Copy set obeys
+``|U^_Copy| <= 6 |U^|^x`` on every ball it processes (the A* witness),
+and the exact DP is never worse."""
+
+import math
+import random
+from collections import deque
+
+from harness import record_table
+
+from repro.algorithms import astar_assignment, dfree_radius, optimal_copy_assignment
+from repro.constructions import random_tree
+from repro.lcl.dfree import A_INPUT, COPY, W_INPUT
+from repro.local import Graph
+
+
+def regular_weight_tree(w: int, delta: int) -> Graph:
+    edges = []
+    frontier = deque([0])
+    nxt, remaining = 1, w - 1
+    while remaining > 0:
+        p = frontier.popleft()
+        for _ in range(delta - 1):
+            if remaining == 0:
+                break
+            edges.append((p, nxt))
+            frontier.append(nxt)
+            nxt += 1
+            remaining -= 1
+    return Graph(w, edges, [A_INPUT] + [W_INPUT] * (w - 1))
+
+
+def measure(graph: Graph, root: int, d: int):
+    L, _ = dfree_radius(graph.n, d)
+    ball_map = graph.ball(root, L + 1)
+    ball = set(ball_map)
+    frontier = {u for u, dist in ball_map.items() if dist == L + 1}
+    a = astar_assignment(graph, root, ball, frontier, d)
+    o = optimal_copy_assignment(graph, root, ball, frontier, d)
+    a_c = sum(1 for lab in a.values() if lab == COPY)
+    o_c = sum(1 for lab in o.values() if lab == COPY)
+    return len(ball), a_c, o_c
+
+
+def test_e09_lemma40(benchmark):
+    benchmark(measure, regular_weight_tree(2000, 5), 0, 2)
+    rows = []
+    ok = True
+    for delta, d in [(5, 2), (6, 3), (9, 4)]:
+        x = math.log(delta - 1 - d) / math.log(delta - 1)
+        for w in (500, 5000, 20000):
+            g = regular_weight_tree(w, delta)
+            ball, a_c, o_c = measure(g, 0, d)
+            bound = 6 * ball**x
+            rows.append(
+                (f"D={delta},d={d}", w, ball, a_c, o_c, f"{bound:.1f}")
+            )
+            ok = ok and a_c <= bound and o_c <= a_c
+    # random-tree balls too
+    for seed in range(5):
+        rng = random.Random(seed)
+        g = random_tree(400, 5, rng).with_inputs(
+            [A_INPUT] + [W_INPUT] * 399
+        )
+        ball, a_c, o_c = measure(g, 0, 2)
+        x = math.log(5 - 1 - 2) / math.log(5 - 1)
+        rows.append((f"rand seed={seed}", 400, ball, a_c, o_c, f"{6 * ball**x:.1f}"))
+        ok = ok and a_c <= 6 * ball**x and o_c <= a_c
+    record_table(
+        "e09", "E9: Lemma 40 — |U_Copy| <= 6 |U|^x  (A* vs exact DP)",
+        ["params", "w", "|ball|", "A* copies", "DP copies", "6|ball|^x"], rows,
+    )
+    assert ok

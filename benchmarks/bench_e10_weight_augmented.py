@@ -1,0 +1,78 @@
+"""E10 — Section 10 (Lemmas 65, 68, 69): efficiency factor x = 1.
+
+(a) the k-hierarchical labeling solver runs in O(n^{1/k}) worst case;
+(b) weight-augmented 2½-coloring forces an Omega(w) copy fraction
+    (Lemma 68);
+(c) its node-averaged complexity is Theta(n^{1/k}) — equal to the worst
+    case, closing the gap left by Pi^{2.5} (which only approaches x=1)."""
+
+import random
+
+from harness import record_table
+
+from repro.algorithms import run_weight_augmented_solver, solve_hierarchical_labeling
+from repro.analysis import fit_power_law, geometric_range
+from repro.constructions import build_weighted_construction
+from repro.constructions.lowerbound import paper_lengths
+from repro.lcl import SECONDARY_DECLINE, WeightAugmented25
+from repro.local import random_ids
+
+K = 2
+
+
+def run_point(n_target: int, seed: int = 7):
+    lengths = paper_lengths(n_target // K, [0.5])
+    wi = build_weighted_construction(lengths, 5, n_target // K)
+    ids = random_ids(wi.n, rng=random.Random(seed))
+    tr = run_weight_augmented_solver(wi.graph, ids, K)
+    WeightAugmented25(K).verify(wi.graph, tr.outputs).raise_if_invalid()
+    copying = declining = 0
+    for a, tree in wi.tree_of.items():
+        for w in tree:
+            if tr.outputs[w][2] == SECONDARY_DECLINE:
+                declining += 1
+            else:
+                copying += 1
+    frac = copying / max(1, copying + declining)
+    return wi.n, tr.node_averaged(), tr.worst_case(), frac
+
+
+def test_e10_weight_augmented(benchmark):
+    benchmark(run_point, 2_000)
+    rows, ns, avgs = [], [], []
+    for n_target in geometric_range(4_000, 120_000, 5):
+        n, avg, worst, frac = run_point(n_target)
+        rows.append((n, f"{avg:.1f}", worst, f"{n**(1/K):.1f}", f"{frac:.2f}"))
+        ns.append(n)
+        avgs.append(avg)
+    fit, _ = fit_power_law(ns, avgs)
+    rows.append(("fit", f"n^{fit:.3f}", "", f"pred n^{1/K:.3f}", ""))
+    record_table(
+        "e10", "E10: weight-augmented 2.5 — node-averaged Theta(n^(1/k)), k=2",
+        ["n", "avg", "worst", "n^(1/k)", "copy frac"], rows,
+    )
+    # Lemma 69: exponent ~ 1/k; Lemma 68: Omega(w) copy fraction
+    assert abs(fit - 1 / K) < 0.15, fit
+    assert all(float(r[4]) > 0.5 for r in rows[:-1])
+
+
+def test_e10_labeling_worstcase(benchmark):
+    from repro.local import path_graph
+
+    def kernel():
+        g = path_graph(4000)
+        sol = solve_hierarchical_labeling(g, 2)
+        return max(sol.times.values())
+
+    worst = benchmark(kernel)
+    rows = []
+    for n in (1_000, 10_000, 100_000):
+        g = path_graph(n)
+        sol = solve_hierarchical_labeling(g, 2)
+        rows.append((n, max(sol.times.values()), f"{n**0.5:.0f}"))
+    record_table(
+        "e10_labeling", "E10b: Lemma 65 — labeling worst case is O(n^(1/k))",
+        ["n", "rounds", "n^(1/2)"], rows,
+    )
+    for n, rounds, pred in rows:
+        assert rounds <= 8 * float(pred) + 20

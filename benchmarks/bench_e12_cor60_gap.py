@@ -1,0 +1,54 @@
+"""E12 — Corollary 60: the omega(sqrt(n))..o(n) gap.
+
+2-coloring on paths has worst case Theta(n), and Lemma 59's charging
+forces node-averaged Theta(n) as well — measured here; contrasted with
+the sqrt(n)-averaged weight-augmented problem (k=2) sitting just below
+the gap."""
+
+import random
+
+from harness import record_table
+
+from repro.algorithms import run_weight_augmented_solver, two_coloring_fast_forward
+from repro.analysis import fit_power_law, geometric_range
+from repro.constructions import build_weighted_construction
+from repro.constructions.lowerbound import paper_lengths
+from repro.local import path_graph, random_ids
+
+
+def run_two_coloring(n: int, seed: int = 0):
+    g = path_graph(n)
+    ids = random_ids(n, rng=random.Random(seed))
+    _, rounds = two_coloring_fast_forward(g, ids)
+    return sum(rounds) / n
+
+
+def test_e12_cor60(benchmark):
+    benchmark(run_two_coloring, 4_000)
+    rows, ns, avgs = [], [], []
+    for n in geometric_range(4_000, 100_000, 4):
+        avg = run_two_coloring(n)
+        rows.append(("2-coloring", n, f"{avg:.0f}", f"{0.75 * n:.0f}"))
+        ns.append(n)
+        avgs.append(avg)
+    fit, _ = fit_power_law(ns, avgs)
+    rows.append(("2-coloring fit", "", f"n^{fit:.3f}", "pred n^1"))
+
+    # the sqrt(n) anchor below the gap
+    sq_ns, sq_avgs = [], []
+    for n_target in (8_000, 64_000):
+        lengths = paper_lengths(n_target // 2, [0.5])
+        wi = build_weighted_construction(lengths, 5, n_target // 2)
+        ids = random_ids(wi.n, rng=random.Random(1))
+        tr = run_weight_augmented_solver(wi.graph, ids, 2)
+        sq_ns.append(wi.n)
+        sq_avgs.append(tr.node_averaged())
+        rows.append(("weight-aug k=2", wi.n, f"{tr.node_averaged():.0f}",
+                     f"{wi.n ** 0.5:.0f}"))
+    record_table(
+        "e12", "E12: Cor. 60 — Theta(n) above the gap vs Theta(sqrt n) below",
+        ["problem", "n", "avg", "reference"], rows,
+    )
+    assert fit > 0.9  # linear
+    sq_fit, _ = fit_power_law(sq_ns, sq_avgs)
+    assert sq_fit < 0.75  # clearly below linear: the gap separates them

@@ -1,0 +1,43 @@
+"""E13 — Lemma 16 ([Feu17]): on paths, node-averaged complexity equals
+worst-case complexity for both Theta(n) problems (2-coloring) and
+Theta(log* n) problems (3-coloring)."""
+
+import random
+
+from harness import record_table
+
+from repro.algorithms import three_color_path, two_coloring_fast_forward
+from repro.analysis import log_star
+from repro.local import path_graph, random_ids
+
+
+def run_point(n: int, seed: int = 0):
+    ids = random_ids(n, rng=random.Random(seed))
+    g = path_graph(n)
+    _, r2 = two_coloring_fast_forward(g, ids)
+    _, t3 = three_color_path(ids, n**3)
+    return sum(r2) / n, max(r2), t3
+
+
+def test_e13_feuilloley(benchmark):
+    benchmark(run_point, 4_000)
+    rows = []
+    ratios2 = []
+    for n in (4_000, 40_000, 400_000):
+        avg2, worst2, t3 = run_point(n)
+        rows.append(
+            (n, f"{avg2:.0f}", worst2, f"{avg2 / worst2:.2f}",
+             t3, t3, log_star(n**3))
+        )
+        ratios2.append(avg2 / worst2)
+    record_table(
+        "e13", "E13: [Feu17] — paths: avg == worst for 2-col and 3-col",
+        ["n", "2col avg", "2col worst", "ratio",
+         "3col avg", "3col worst", "log* n^3"], rows,
+    )
+    # 2-coloring: avg within a constant factor of worst (ratio ~ 0.75)
+    assert all(r > 0.5 for r in ratios2)
+    # 3-coloring: avg == worst exactly (fixed CV schedule), both ~ log*
+    for row in rows:
+        assert row[4] == row[5]
+        assert row[4] <= 4 * (row[6] + 9)

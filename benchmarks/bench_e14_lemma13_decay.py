@@ -1,0 +1,46 @@
+"""E14 — Lemma 13: after phase i of the generic algorithm with parameter
+gamma_i, at most O(n'/gamma_i) nodes remain unfinished."""
+
+import random
+
+from harness import record_table
+
+from repro.algorithms import run_generic_fast_forward
+from repro.constructions import build_lower_bound_graph
+from repro.local import random_ids
+
+
+def run_point(lengths, gammas, seed: int = 0):
+    lb = build_lower_bound_graph(lengths)
+    ids = random_ids(lb.graph.n, rng=random.Random(seed))
+    tr = run_generic_fast_forward(lb.graph, ids, len(lengths), gammas, "2.5")
+    return lb.graph.n, tr.meta["remaining_after_phase"]
+
+
+def test_e14_lemma13(benchmark):
+    benchmark(run_point, [20, 20], [10])
+    rows = []
+    ok = True
+    for lengths, gammas in [
+        ([30, 40], [10]),
+        ([30, 40], [20]),
+        ([12, 14, 16], [6, 40]),
+        ([8, 10, 60], [4, 16]),
+    ]:
+        n, remaining = run_point(lengths, gammas)
+        prev = n
+        for i, g in enumerate(gammas, start=1):
+            rem = remaining[i]
+            bound = 8 * prev / g
+            rows.append((str(lengths), str(gammas), i, prev, rem, f"{bound:.0f}"))
+            ok = ok and rem <= bound
+            prev = max(rem, 1)
+        rows.append((str(lengths), str(gammas), len(gammas) + 1,
+                     prev, remaining[len(gammas) + 1], "0 (final)"))
+        ok = ok and remaining[len(gammas) + 1] == 0
+    record_table(
+        "e14", "E14: Lemma 13 — survivors after phase i <= O(n'/gamma_i)",
+        ["lengths", "gammas", "phase", "n' before", "remaining", "bound 8n'/g"],
+        rows,
+    )
+    assert ok

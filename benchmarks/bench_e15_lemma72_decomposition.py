@@ -1,0 +1,43 @@
+"""E15 — Lemma 72: rake-and-compress layer counts.
+
+gamma = 1 gives O(log n) iterations; gamma ~ n^{1/k} gives <= k+1
+iterations, on bushy trees and on the paper's lower-bound graphs."""
+
+import math
+
+from harness import record_table
+
+from repro.algorithms import gamma_for_k_layers, rake_compress, validate_decomposition
+from repro.constructions import build_lower_bound_graph
+from repro.local import balanced_tree
+
+
+def decompose(graph, gamma, ell=4):
+    dec = rake_compress(graph, gamma, ell)
+    issues = validate_decomposition(dec)
+    assert not issues, issues[:3]
+    return dec.num_iterations
+
+
+def test_e15_lemma72(benchmark):
+    g_small = balanced_tree(2, 8)
+    benchmark(decompose, g_small, 1)
+    rows = []
+    log_ok = poly_ok = True
+    for height in (6, 9, 12):
+        g = balanced_tree(2, height)
+        iters = decompose(g, 1)
+        bound = 3 * math.ceil(math.log2(g.n)) + 3
+        rows.append(("balanced(2,%d)" % height, g.n, 1, iters, f"<= {bound}"))
+        log_ok = log_ok and iters <= bound
+    for k in (2, 3):
+        lb = build_lower_bound_graph([20] * (k - 1) + [60])
+        gamma = gamma_for_k_layers(lb.graph.n, k, 4)
+        iters = decompose(lb.graph, gamma)
+        rows.append((f"lb-graph k={k}", lb.graph.n, gamma, iters, f"<= {k + 1}"))
+        poly_ok = poly_ok and iters <= k + 1
+    record_table(
+        "e15", "E15: Lemma 72 — decomposition iteration counts",
+        ["graph", "n", "gamma", "iterations", "bound"], rows,
+    )
+    assert log_ok and poly_ok

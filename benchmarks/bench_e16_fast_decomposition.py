@@ -1,0 +1,59 @@
+"""E16 — Corollaries 47/49: the adapted fast-decomposition d-free solver
+terminates in O(1) node-averaged and O(log n) worst-case rounds, with
+geometric decay of late finishers."""
+
+import math
+from collections import deque
+
+from harness import record_table
+
+from repro.algorithms import run_fast_dfree
+from repro.lcl import DFreeWeightProblem
+from repro.lcl.dfree import A_INPUT, W_INPUT
+from repro.local import Graph
+
+
+def weight_tree(w, delta):
+    edges = []
+    frontier = deque([0])
+    nxt, remaining = 1, w - 1
+    while remaining > 0:
+        p = frontier.popleft()
+        for _ in range(delta - 1):
+            if remaining == 0:
+                break
+            edges.append((p, nxt))
+            frontier.append(nxt)
+            nxt += 1
+            remaining -= 1
+    return Graph(w, edges, [A_INPUT] + [W_INPUT] * (w - 1))
+
+
+def run_point(w: int, delta: int = 6, d: int = 3):
+    g = weight_tree(w, delta)
+    sol = run_fast_dfree(g, d)
+    DFreeWeightProblem(delta, d).verify(g, sol.outputs).raise_if_invalid()
+    avg = sum(sol.rounds) / w
+    late = sum(1 for r in sol.rounds if r > 12)  # > 4 iterations
+    return avg, max(sol.rounds), late
+
+
+def test_e16_fast_decomposition(benchmark):
+    benchmark(run_point, 5_000)
+    rows, avgs = [], []
+    for w in (5_000, 40_000, 160_000):
+        avg, worst, late = run_point(w)
+        rows.append(
+            (w, f"{avg:.2f}", worst, f"{12 * math.log2(w):.0f}",
+             late, f"{late / w:.4f}")
+        )
+        avgs.append(avg)
+    record_table(
+        "e16", "E16: Cor. 47/49 — fast d-free solver: O(1) avg, O(log n) worst",
+        ["w", "avg", "worst", "12 log2 w", "late (>12 rnd)", "late frac"], rows,
+    )
+    # averaged time flat; worst logarithmic; late fraction vanishing
+    assert max(avgs) <= min(avgs) + 2
+    for row in rows:
+        assert row[2] <= float(row[3]) + 6
+    assert float(rows[-1][5]) < 0.05

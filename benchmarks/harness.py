@@ -1,0 +1,54 @@
+"""Shared benchmark harness: result tables, shape checks, persistence.
+
+Every bench regenerates one experiment from DESIGN.md's per-experiment
+index (E1..E17).  Results are printed and appended to
+``benchmarks/results/<exp_id>.txt`` so the paper-vs-measured record in
+EXPERIMENTS.md can be regenerated at any time.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+__all__ = ["record_table", "format_table", "dfree_overhead", "adjusted_average"]
+
+
+def format_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(header)
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def record_table(exp_id: str, title: str, header: Sequence[str], rows) -> str:
+    """Print and persist one experiment table; returns the rendered text."""
+    text = format_table(title, header, rows)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{exp_id}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def dfree_overhead(n: int, d: int) -> int:
+    """Algorithm A's additive per-weight-node round count R = 3L + 3."""
+    from repro.algorithms import dfree_radius
+
+    return dfree_radius(n, d)[1]
+
+
+def adjusted_average(avg: float, n: int, d: int, weight_fraction: float) -> float:
+    """Node-averaged complexity minus the known additive Algorithm-A
+    overhead paid by every weight node (asymptotically negligible, but
+    dominant at benchmark sizes; see EXPERIMENTS.md)."""
+    return max(0.0, avg - weight_fraction * dfree_overhead(n, d))

@@ -1,0 +1,48 @@
+"""Classify black-white LCLs with the Theorem-7 decider.
+
+Runs the executable testing procedure (Algorithm 1) plus the
+constant-good check on four problems sitting in different landscape
+regions, and prints where each lands:
+
+* O(1) node-averaged (constant-good function exists),
+* the (log* n)^{Omega(1)}..O(log* n) band (good but not constant-good —
+  Theorem 7's gap forbids anything in omega(1)..(log* n)^{o(1)}),
+* outside the log* regime (no good function at all).
+
+Run:  python examples/classify_lcl.py
+"""
+
+from repro.gap import decide_node_averaged_class
+from repro.gap.problems import all_equal, edge_2coloring, edge_3coloring, free_labeling
+from repro.lcl import BlackWhiteLCL
+
+
+def maximal_matching_relaxed() -> BlackWhiteLCL:
+    """Edges labeled M/U; a node may have at most one M.  (No maximality
+    requirement, so the empty labeling works: an O(1) problem.)"""
+    def at_most_one_m(pairs):
+        return sum(1 for _, o in pairs if o == "M") <= 1
+
+    return BlackWhiteLCL(
+        "at-most-one-matched", ("-",), ("M", "U"),
+        at_most_one_m, at_most_one_m,
+    )
+
+
+def main() -> None:
+    problems = [
+        free_labeling(),
+        all_equal(),
+        maximal_matching_relaxed(),
+        edge_3coloring(),
+        edge_2coloring(),
+    ]
+    print(f"{'problem':<22} {'class':<18} detail")
+    print("-" * 100)
+    for prob in problems:
+        verdict = decide_node_averaged_class(prob)
+        print(f"{verdict.problem:<22} {verdict.klass:<18} {verdict.detail}")
+
+
+if __name__ == "__main__":
+    main()

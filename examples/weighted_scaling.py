@@ -1,0 +1,56 @@
+"""Measure the node-averaged scaling of ``Pi^{2.5}_{Delta,d,k}``.
+
+Builds the paper's weighted lower-bound construction (Definition 25) at
+increasing sizes, runs A_poly (Theorem 2), verifies every output with the
+Definition-22 checker, and fits the measured node-averaged complexity
+against the predicted ``Theta(n^{alpha_1})``.
+
+Run:  python examples/weighted_scaling.py
+"""
+
+import random
+
+from repro.algorithms import run_apoly
+from repro.analysis import (
+    alpha1_poly,
+    alpha_vector_poly,
+    efficiency_factor,
+    fit_power_law,
+    geometric_range,
+)
+from repro.constructions import build_weighted_construction
+from repro.constructions.lowerbound import paper_lengths
+from repro.lcl import Weighted25
+from repro.local import random_ids
+
+
+def main() -> None:
+    delta, d, k = 5, 2, 2
+    x = efficiency_factor(delta, d)
+    a1 = alpha1_poly(x, k)
+    print(f"Pi^2.5_(D={delta}, d={d}, k={k}):  x = {x:.3f},  "
+          f"predicted exponent alpha1 = {a1:.3f}")
+    print(f"{'n':>8} {'avg rounds':>12} {'worst':>8} {'n^a1':>8}")
+
+    ns, avgs = [], []
+    rng = random.Random(7)
+    for n_target in geometric_range(2_000, 60_000, 5):
+        lengths = paper_lengths(n_target // k, alpha_vector_poly(x, k))
+        wi = build_weighted_construction(lengths, delta, n_target // k)
+        ids = random_ids(wi.n, rng=rng)
+        trace = run_apoly(wi.graph, ids, delta, d, k)
+        Weighted25(delta, d, k).verify(wi.graph, trace.outputs).raise_if_invalid()
+        ns.append(wi.n)
+        avgs.append(trace.node_averaged())
+        print(f"{wi.n:>8} {trace.node_averaged():>12.2f} "
+              f"{trace.worst_case():>8} {wi.n**a1:>8.1f}")
+
+    alpha_hat, _ = fit_power_law(ns, avgs)
+    print(f"\nfitted exponent = {alpha_hat:.3f}  vs predicted {a1:.3f}")
+    print("(the additive O(log n) of Algorithm A inflates small sizes;")
+    print(" the fit tightens as n grows — see benchmarks/bench_e04 for the")
+    print(" full sweep recorded in EXPERIMENTS.md)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — Node-averaged complexity of LCLs on bounded-degree trees.
+
+A full reproduction of "Completing the Node-Averaged Complexity Landscape of
+LCLs on Trees" (PODC 2024): a LOCAL-model simulator, every problem family
+the paper defines, the paper's algorithms and lower-bound constructions, the
+landscape formulas, and the Section-11 decidability machinery.
+
+Quickstart::
+
+    from repro.local import LocalSimulator, path_graph, random_ids
+    from repro.algorithms import ColeVishkin3Coloring
+
+    g = path_graph(1000)
+    trace = LocalSimulator().run(g, ColeVishkin3Coloring(), random_ids(g.n))
+    print(trace.node_averaged(), trace.worst_case())
+"""
+
+__version__ = "1.0.0"
+
+from . import algorithms, analysis, constructions, gap, lcl, local  # noqa: F401
+
+__all__ = [
+    "algorithms",
+    "analysis",
+    "constructions",
+    "gap",
+    "lcl",
+    "local",
+    "__version__",
+]

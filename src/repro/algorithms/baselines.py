@@ -1,0 +1,123 @@
+"""Baseline algorithms for comparisons.
+
+* :class:`WaitForWholeGraph` — the trivial worst-case-optimal solver:
+  every node gathers the entire graph and computes a canonical solution
+  centrally (``T_v = ecc(v) + 1``).  Every LCL admits it; its
+  node-averaged complexity is Theta(diameter), the upper anchor against
+  which the paper's algorithms are compared.
+* :func:`run_naive_weighted25` — solves ``Pi^{2.5}`` by having every
+  weight node wait for the full active solution before copying:
+  node-averaged Theta(worst case), the "no Decline" strawman from the
+  paper's introduction (Section 1.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Sequence
+
+from ..lcl.weighted import ACTIVE, WEIGHT, copy_of, decline
+from ..local.algorithm import CONTINUE, LocalAlgorithm, View
+from ..local.graph import Graph
+from ..local.metrics import ExecutionTrace
+from .generic_phases import run_generic_fast_forward
+from ..lcl.levels import compute_levels
+
+__all__ = ["WaitForWholeGraph", "run_naive_weighted25"]
+
+
+class WaitForWholeGraph(LocalAlgorithm):
+    """Gather everything, then apply a canonical centralized solver."""
+
+    name = "wait-for-whole-graph"
+
+    def __init__(self, solve: Callable[[Graph, Sequence[int]], list]) -> None:
+        """``solve(graph, ids) -> outputs`` is the centralized rule; it is
+        evaluated identically by every node once it sees the whole
+        component."""
+        self._solve = solve
+        self._cache = None
+
+    def decide(self, view: View, n: int):
+        if len(view.nodes()) < n and not view.sees_whole_component():
+            return CONTINUE
+        if self._cache is None:
+            ids = [view.id_of(u) if view.contains(u) else 0 for u in range(n)]
+            self._cache = self._solve(view.graph, ids)
+        return self._cache[view.center]
+
+    def max_rounds_hint(self, n: int) -> int:
+        return n + 2
+
+
+def run_naive_weighted25(
+    graph: Graph, ids: Sequence[int], delta: int, d: int, k: int,
+    gammas=None,
+) -> ExecutionTrace:
+    """Strawman for ``Pi^{2.5}``: every weight node copies (no Declines),
+    so outputs must flood through entire weight trees — per-node times are
+    active-time + distance, which drags the average up to the worst case
+    (this is the 'grave error' discussed in Section 1.2)."""
+    from .weighted25 import apoly_gammas
+
+    n = graph.n
+    active = [v for v in graph.nodes() if graph.input_of(v) == ACTIVE]
+    weight = set(graph.nodes()) - set(active)
+    if gammas is None:
+        gammas = apoly_gammas(n, delta, d, k, "poly")
+
+    rounds = [0] * n
+    outputs: List = [None] * n
+    if active:
+        levels = compute_levels(graph, k, restrict=active)
+        tr = run_generic_fast_forward(
+            graph, ids, k, gammas, "2.5", levels=levels, restrict=active
+        )
+        for v in active:
+            rounds[v] = tr.rounds[v]
+            outputs[v] = tr.outputs[v]
+
+    # flood every weight component from its active attachment points
+    active_set = set(active)
+    seen = set()
+    for w in weight:
+        if w in seen:
+            continue
+        comp = [w]
+        seen.add(w)
+        stack = [w]
+        while stack:
+            u = stack.pop()
+            for x in graph.neighbors(u):
+                if x in weight and x not in seen:
+                    seen.add(x)
+                    comp.append(x)
+                    stack.append(x)
+        sources = [
+            (u, a)
+            for u in comp
+            for a in graph.neighbors(u)
+            if a in active_set
+        ]
+        if not sources:
+            for u in comp:
+                outputs[u] = decline()
+                rounds[u] = 1
+            continue
+        src, anchor = min(sources, key=lambda p: (rounds[p[1]], ids[p[1]]))
+        secondary = outputs[anchor]
+        start = rounds[anchor] + 1
+        dist = {src: 0}
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            for x in graph.neighbors(u):
+                if x in weight and x not in dist:
+                    dist[x] = dist[u] + 1
+                    queue.append(x)
+        for u in comp:
+            outputs[u] = copy_of(secondary)
+            rounds[u] = start + dist[u]
+    return ExecutionTrace(
+        rounds=rounds, outputs=outputs, algorithm="naive-weighted25", meta={}
+    )

@@ -1,0 +1,352 @@
+"""Symmetry breaking on paths: Cole–Vishkin 3-coloring and canonical
+2-coloring.
+
+These are the two primitives of the generic phase algorithm (Section 4.1):
+phase ``k`` of 3½-coloring 3-colours the surviving level-``k`` paths in
+``O(log* n)`` rounds [Lin92], and phase ``k`` of 2½-coloring 2-colours them
+in linear time (2-coloring needs to see the whole path — this is what makes
+2½-coloring polynomially hard and gives the ``Theta(n)`` node-averaged
+baseline of Corollary 60 / experiment E12).
+
+Cole–Vishkin needs an out-degree-1 orientation, but orienting path edges
+toward the larger ID gives out-degree up to 2 (local minima point both
+ways).  We therefore use the standard forest decomposition: rank each
+node's outgoing edges by target ID, obtaining two forests ``F1``/``F2``
+with out-degree <= 1 each; run the CV bit-trick on both forests in
+parallel to 6 colours, shed to 3 colours per forest, and finally shed the
+9 composite colours down to 3 on the path.  Total rounds:
+``cv_iterations(space) + 9``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..local.algorithm import CONTINUE, LocalAlgorithm, View
+from ..local.graph import Graph
+from ..local.ids import id_space_size
+from ..local.message import MessageAlgorithm, NodeInfo
+
+__all__ = [
+    "cv_iterations",
+    "cv_total_rounds",
+    "cv_step",
+    "three_color_path",
+    "ColeVishkin3Coloring",
+    "CanonicalTwoColoring",
+    "two_coloring_fast_forward",
+]
+
+_SHED_ROUNDS = 9  # 3 per-forest rounds (6 -> 3) + 6 composite rounds (9 -> 3)
+
+
+# ----------------------------------------------------------------------
+# schedule and pure steps
+# ----------------------------------------------------------------------
+def cv_iterations(space: int) -> int:
+    """Bit-trick iterations to reach <= 6 colours from labels in
+    ``{0..space}`` — the deterministic schedule every node derives from
+    ``n`` (this is where the ``log*`` comes from)."""
+    if space < 1:
+        raise ValueError("space must be >= 1")
+    k = space + 1
+    iters = 0
+    while k > 6:
+        bits = max(1, math.ceil(math.log2(k)))
+        k = 2 * bits
+        iters += 1
+    return iters
+
+
+def cv_total_rounds(space: int) -> int:
+    """Iterations plus the nine colour-shedding rounds."""
+    return cv_iterations(space) + _SHED_ROUNDS
+
+
+def cv_step(label: int, parent_label: Optional[int]) -> int:
+    """One Cole–Vishkin iteration: ``2*i + bit_i(label)`` for the least bit
+    position ``i`` where ``label`` differs from the parent's label; roots
+    keep ``<0, bit_0>``."""
+    if parent_label is None:
+        return label & 1
+    diff = label ^ parent_label
+    assert diff != 0, "CV step requires distinct adjacent labels"
+    i = (diff & -diff).bit_length() - 1
+    return 2 * i + ((label >> i) & 1)
+
+
+def _forest_parents(ids: Sequence[int], neighbors: Sequence[Sequence[int]]):
+    """Per-forest parent of each node: outgoing (larger-ID) neighbours
+    ranked ascending; rank 0 -> F1, rank 1 -> F2.  Returns two parent
+    arrays (entries are node indices or None)."""
+    p1: List[Optional[int]] = []
+    p2: List[Optional[int]] = []
+    for i, nbrs in enumerate(neighbors):
+        larger = sorted((j for j in nbrs if ids[j] > ids[i]), key=lambda j: ids[j])
+        p1.append(larger[0] if len(larger) >= 1 else None)
+        p2.append(larger[1] if len(larger) >= 2 else None)
+    return p1, p2
+
+
+def three_color_path(ids: Sequence[int], space: int) -> Tuple[List[int], int]:
+    """Fast-forward Cole–Vishkin on one path (IDs given in path order).
+
+    Returns ``(colors, rounds)``: a proper 3-coloring in {0,1,2} plus the
+    common per-node round count ``cv_total_rounds(space)``.  Exactly the
+    procedure :class:`ColeVishkin3Coloring` runs distributedly; tests
+    assert agreement.
+    """
+    m = len(ids)
+    if m == 0:
+        return [], 0
+    if len(set(ids)) != m:
+        raise ValueError("IDs on a path must be distinct")
+    neighbors = [[j for j in (i - 1, i + 1) if 0 <= j < m] for i in range(m)]
+    p1, p2 = _forest_parents(ids, neighbors)
+    labels1 = list(ids)
+    labels2 = list(ids)
+    for _ in range(cv_iterations(space)):
+        labels1 = [
+            cv_step(labels1[i], labels1[p1[i]] if p1[i] is not None else None)
+            for i in range(m)
+        ]
+        labels2 = [
+            cv_step(labels2[i], labels2[p2[i]] if p2[i] is not None else None)
+            for i in range(m)
+        ]
+    # per-forest shedding 5, 4, 3 (forest degree <= 2 on a path)
+    forest_nbrs = [_forest_neighbor_lists(p, m) for p in (p1, p2)]
+    for color in (5, 4, 3):
+        labels1 = _shed(labels1, forest_nbrs[0], color, (0, 1, 2))
+        labels2 = _shed(labels2, forest_nbrs[1], color, (0, 1, 2))
+    composite = [3 * a + b for a, b in zip(labels1, labels2)]
+    for color in (8, 7, 6, 5, 4, 3):
+        composite = _shed(composite, neighbors, color, (0, 1, 2))
+    assert all(composite[i] != composite[j] for i in range(m) for j in neighbors[i])
+    assert all(0 <= c <= 2 for c in composite)
+    return composite, cv_total_rounds(space)
+
+
+def _forest_neighbor_lists(parent: Sequence[Optional[int]], m: int) -> List[List[int]]:
+    nbrs: List[List[int]] = [[] for _ in range(m)]
+    for child, par in enumerate(parent):
+        if par is not None:
+            nbrs[child].append(par)
+            nbrs[par].append(child)
+    return nbrs
+
+
+def _shed(
+    labels: List[int],
+    neighbors: Sequence[Sequence[int]],
+    color: int,
+    palette: Tuple[int, ...],
+) -> List[int]:
+    """One shedding round: nodes holding ``color`` recolour greedily into
+    ``palette`` avoiding neighbours' current labels (degree < len(palette)
+    guarantees a free colour; two ``color`` nodes are never adjacent)."""
+    out = list(labels)
+    for v, lab in enumerate(labels):
+        if lab == color:
+            used = {labels[w] for w in neighbors[v]}
+            out[v] = next(c for c in palette if c not in used)
+    return out
+
+
+# ----------------------------------------------------------------------
+# distributed Cole-Vishkin (message passing)
+# ----------------------------------------------------------------------
+class _CVState:
+    __slots__ = ("vid", "l1", "l2", "nbr_vids", "p1", "p2", "composite")
+
+    def __init__(self, vid: int) -> None:
+        self.vid = vid
+        self.l1 = vid
+        self.l2 = vid
+        self.nbr_vids: Optional[Tuple[int, ...]] = None
+        self.p1: Optional[int] = None  # index into the neighbour list
+        self.p2: Optional[int] = None
+        self.composite: Optional[int] = None
+
+
+class ColeVishkin3Coloring(MessageAlgorithm):
+    """Distributed 3-coloring of paths (max degree 2) in O(log* n) rounds.
+
+    All nodes follow the fixed schedule derived from the ID space
+    ``{1..n^c}`` and commit simultaneously at ``cv_total_rounds(n^c)`` —
+    node-averaged equals worst case, which is optimal up to constants for
+    3-coloring on paths (Lemma 16 / [Feu17]).
+
+    Messages carry ``(vid, l1, l2, parent1_vid, parent2_vid)`` so that
+    nodes can identify their children per forest during shedding.
+    """
+
+    name = "cole-vishkin-3coloring"
+
+    def __init__(self, id_exponent: int = 3) -> None:
+        self.id_exponent = id_exponent
+        self._iters = 0
+        self._total = 0
+
+    def setup(self, graph: Graph, n: int) -> None:
+        if graph.max_degree() > 2:
+            raise ValueError("Cole-Vishkin path coloring requires max degree 2")
+        space = id_space_size(n, self.id_exponent)
+        self._iters = cv_iterations(space)
+        self._total = self._iters + _SHED_ROUNDS
+
+    def init_state(self, info: NodeInfo, n: int) -> _CVState:
+        return _CVState(info.vid)
+
+    def message(self, state: _CVState, t: int):
+        p1_vid = (
+            state.nbr_vids[state.p1]
+            if state.nbr_vids is not None and state.p1 is not None
+            else None
+        )
+        p2_vid = (
+            state.nbr_vids[state.p2]
+            if state.nbr_vids is not None and state.p2 is not None
+            else None
+        )
+        return (state.vid, state.l1, state.l2, p1_vid, p2_vid,
+                state.composite)
+
+    def transition(self, state: _CVState, incoming: Sequence, t: int) -> _CVState:
+        if state.nbr_vids is None:
+            state.nbr_vids = tuple(msg[0] for msg in incoming)
+            larger = sorted(
+                (i for i, vid in enumerate(state.nbr_vids) if vid > state.vid),
+                key=lambda i: state.nbr_vids[i],
+            )
+            state.p1 = larger[0] if len(larger) >= 1 else None
+            state.p2 = larger[1] if len(larger) >= 2 else None
+
+        if t < self._iters:
+            pl1 = incoming[state.p1][1] if state.p1 is not None else None
+            pl2 = incoming[state.p2][2] if state.p2 is not None else None
+            state.l1 = cv_step(state.l1, pl1)
+            state.l2 = cv_step(state.l2, pl2)
+        elif t < self._iters + 3:
+            color = 5 - (t - self._iters)
+            state.l1 = self._shed_forest(state, incoming, forest=1, color=color)
+            state.l2 = self._shed_forest(state, incoming, forest=2, color=color)
+            if t == self._iters + 2:
+                state.composite = 3 * state.l1 + state.l2
+        elif t < self._total:
+            color = 8 - (t - self._iters - 3)
+            if state.composite == color:
+                used = {msg[5] for msg in incoming}
+                state.composite = next(c for c in (0, 1, 2) if c not in used)
+        return state
+
+    def _shed_forest(self, state: _CVState, incoming: Sequence, forest: int,
+                     color: int) -> int:
+        label = state.l1 if forest == 1 else state.l2
+        if label != color:
+            return label
+        used = set()
+        parent_idx = state.p1 if forest == 1 else state.p2
+        if parent_idx is not None:
+            used.add(incoming[parent_idx][forest])
+        parent_slot = 3 if forest == 1 else 4
+        for i, msg in enumerate(incoming):
+            if msg[parent_slot] == state.vid:  # i is my child in this forest
+                used.add(msg[forest])
+        return next(c for c in (0, 1, 2) if c not in used)
+
+    def decide(self, state: _CVState, t: int):
+        if t >= self._total:
+            return state.composite
+        return CONTINUE
+
+    def max_rounds_hint(self, n: int) -> int:
+        return self._total + 4 if self._total else 64
+
+
+# ----------------------------------------------------------------------
+# canonical 2-coloring (view based)
+# ----------------------------------------------------------------------
+class CanonicalTwoColoring(LocalAlgorithm):
+    """Proper 2-coloring of forests: colour = parity of distance to the
+    minimum-ID node of the component.
+
+    A node must provably see its whole component before committing (the
+    canonical root cannot be known earlier), so ``T_v = ecc(v) + 1``, or
+    ``ecc(v)`` when the ball already counts all ``n`` nodes — the
+    ``Theta(n)`` node-averaged baseline of Corollary 60.
+    """
+
+    name = "canonical-2coloring"
+
+    def decide(self, view: View, n: int):
+        ball = view.nodes()
+        if len(ball) < n and not view.sees_whole_component():
+            return CONTINUE
+        root = min(ball, key=view.id_of)
+        return _tree_parity(view, root)
+
+    def max_rounds_hint(self, n: int) -> int:
+        return n + 2
+
+
+def _tree_parity(view: View, root: int) -> int:
+    """Parity of the tree distance from ``root`` to the view's centre."""
+    from collections import deque
+
+    ball = view.nodes()
+    dist = {root: 0}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for w in view.neighbors(u):
+            if w in ball and w not in dist:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    return dist[view.center] % 2
+
+
+def two_coloring_fast_forward(
+    graph: Graph, ids: Sequence[int]
+) -> Tuple[List[int], List[int]]:
+    """Fast-forward of :class:`CanonicalTwoColoring`: ``(colors, rounds)``.
+
+    ``T_v = ecc(v) + 1`` within its component, or ``ecc(v)`` when the
+    component is the whole graph (the ball then provably counts all n
+    nodes at radius ecc already).
+    """
+    n = graph.n
+    colors = [0] * n
+    rounds = [0] * n
+    for comp in graph.connected_components():
+        comp_set = set(comp)
+        root = min(comp, key=lambda v: ids[v])
+        dist_root = _component_bfs(graph, root, comp_set)
+        whole = len(comp) == n
+        for v in comp:
+            colors[v] = dist_root[v] % 2
+        # On a tree, ecc(v) = max distance to either end of a diameter
+        # (two-sweep BFS), so all eccentricities come from three passes.
+        a = max(dist_root, key=dist_root.get)
+        dist_a = _component_bfs(graph, a, comp_set)
+        b = max(dist_a, key=dist_a.get)
+        dist_b = _component_bfs(graph, b, comp_set)
+        for v in comp:
+            ecc = max(dist_a[v], dist_b[v])
+            rounds[v] = ecc if whole else ecc + 1
+    return colors, rounds
+
+
+def _component_bfs(graph: Graph, source: int, comp: set) -> dict:
+    from collections import deque
+
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors(u):
+            if w in comp and w not in dist:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    return dist

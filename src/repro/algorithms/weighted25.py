@@ -1,0 +1,172 @@
+"""A_poly: the algorithm for ``Pi^{2.5}_{Delta,d,k}`` (Section 7.1).
+
+Composition of the two substrates:
+
+* active nodes run the generic phase algorithm (Section 4.1) on their
+  components with ``gamma_i = n^{alpha_i}``, the Lemma-33 exponents at
+  ``x = log(Delta-1-d)/log(Delta-1)``;
+* weight nodes solve the d-free weight problem with Algorithm A (every
+  weight node adjacent to an active node takes input ``A``); ``Connect``
+  and ``Decline`` nodes terminate at ``R = 3*ceil(log_{d+1} n) + 3``;
+* each Copy component ``C(u)`` (one ``A``-node ``u`` per component,
+  Observation 39) waits for an active neighbour ``v`` of ``u`` to commit,
+  then floods ``v``'s output through the component as the secondary
+  output — node ``w`` commits at ``max(R, T_v + 1) + dist_{C}(u, w)``.
+
+Theorem 2: the node-averaged complexity is ``O(n^{alpha_1})``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.landscape import alpha_vector_poly, efficiency_factor
+from ..lcl.dfree import A_INPUT, CONNECT as DF_CONNECT, COPY as DF_COPY, W_INPUT
+from ..lcl.levels import compute_levels
+from ..lcl.weighted import ACTIVE, WEIGHT, connect, copy_of, decline
+from ..local.graph import Graph
+from ..local.metrics import ExecutionTrace
+from .dfree_solver import run_algorithm_a
+from .generic_phases import run_generic_fast_forward
+from ..analysis.mathutil import log_star
+
+__all__ = ["apoly_gammas", "run_weighted_solver", "run_apoly", "run_a35"]
+
+
+def apoly_gammas(n: int, delta: int, d: int, k: int, regime: str = "poly") -> List[int]:
+    """The phase parameters of A_poly (polynomial regime,
+    ``gamma_i = n^{alpha_i}``) or of the Section-8.2 algorithm
+    (``gamma_i = (log* n)^{alpha_i}`` with the relaxed ``x'``)."""
+    if regime == "poly":
+        x = efficiency_factor(delta, d)
+        base = float(n)
+    elif regime == "logstar":
+        from ..analysis.landscape import alpha_vector_logstar, efficiency_factor_relaxed
+
+        x = efficiency_factor_relaxed(delta, d)
+        base = float(max(2, log_star(n)))
+        return [
+            max(2, int(round(base**a))) for a in alpha_vector_logstar(x, k)
+        ]
+    else:
+        raise ValueError("regime must be 'poly' or 'logstar'")
+    return [max(2, int(round(base**a))) for a in alpha_vector_poly(x, k)]
+
+
+def run_weighted_solver(
+    graph: Graph,
+    ids: Sequence[int],
+    delta: int,
+    d: int,
+    k: int,
+    variant: str = "2.5",
+    gammas: Optional[Sequence[int]] = None,
+    id_exponent: int = 3,
+) -> ExecutionTrace:
+    """Solve ``Pi^Z_{Delta,d,k}`` on a graph with Active/Weight inputs.
+
+    ``variant='2.5'`` is A_poly (Theorem 2); ``variant='3.5'`` is the
+    Section-8.2 composition with the ``log*``-regime gammas and relaxed
+    efficiency ``x'`` (Theorem 5) — here both use Algorithm A for the
+    weight side; the dedicated O(1)-node-averaged weight machinery lives
+    in :mod:`repro.algorithms.fast_decomposition` and is exercised by the
+    Pi^{3.5} benchmarks for comparison.
+    """
+    n = graph.n
+    active = [v for v in graph.nodes() if graph.input_of(v) == ACTIVE]
+    weight = [v for v in graph.nodes() if graph.input_of(v) == WEIGHT]
+    if gammas is None:
+        regime = "poly" if variant == "2.5" else "logstar"
+        gammas = apoly_gammas(n, delta, d, k, regime)
+
+    rounds = [0] * n
+    outputs: List = [None] * n
+
+    # ---- active side: generic phase algorithm ------------------------
+    if active:
+        levels = compute_levels(graph, k, restrict=active)
+        tr = run_generic_fast_forward(
+            graph, ids, k, gammas, variant,
+            id_exponent=id_exponent, levels=levels, restrict=active,
+        )
+        for v in active:
+            rounds[v] = tr.rounds[v]
+            outputs[v] = tr.outputs[v]
+
+    # ---- weight side: Algorithm A on the weight forest ---------------
+    if weight:
+        active_set = set(active)
+        sub, remap = graph.induced_subgraph(weight)
+        inv = {new: old for old, new in remap.items()}
+        dfree_inputs = [
+            A_INPUT
+            if any(w in active_set for w in graph.neighbors(inv[new]))
+            else W_INPUT
+            for new in sub.nodes()
+        ]
+        sub = sub.with_inputs(dfree_inputs)
+        sol = run_algorithm_a(sub, d, n_global=n)
+        R = sol.rounds
+
+        for new in sub.nodes():
+            old = inv[new]
+            lab = sol.outputs[new]
+            if lab == DF_CONNECT:
+                outputs[old] = connect()
+                rounds[old] = R
+            elif lab != DF_COPY:
+                outputs[old] = decline()
+                rounds[old] = R
+
+        # Copy components: flood the adopted active output
+        for a_new, comp in sol.copy_component_of.items():
+            if not comp:
+                continue
+            u = inv[a_new]
+            candidates = [
+                w for w in graph.neighbors(u) if w in active_set
+            ]
+            assert candidates, "Copy A-node without an active neighbour"
+            v = min(candidates, key=lambda w: (rounds[w], ids[w]))
+            secondary = outputs[v]
+            start = max(R, rounds[v] + 1)
+            dist = _component_distances(sub, a_new, set(comp))
+            for w_new in comp:
+                old = inv[w_new]
+                outputs[old] = copy_of(secondary)
+                rounds[old] = start + dist[w_new]
+
+    missing = [v for v in graph.nodes() if outputs[v] is None]
+    if missing:
+        raise RuntimeError(f"weighted solver left {len(missing)} nodes unlabeled")
+    return ExecutionTrace(
+        rounds=rounds,
+        outputs=outputs,
+        algorithm=f"a_poly-{variant}",
+        meta={"gammas": list(gammas), "dfree_rounds": R if weight else 0},
+    )
+
+
+def run_apoly(graph, ids, delta, d, k, **kw) -> ExecutionTrace:
+    """Theorem 2's algorithm for ``Pi^{2.5}_{Delta,d,k}``."""
+    return run_weighted_solver(graph, ids, delta, d, k, "2.5", **kw)
+
+
+def run_a35(graph, ids, delta, d, k, **kw) -> ExecutionTrace:
+    """The Section-8.2-style composition for ``Pi^{3.5}_{Delta,d,k}``
+    using Algorithm A for the weight side (baseline; the O(1)-averaged
+    weight solver is in :mod:`repro.algorithms.weighted35`)."""
+    return run_weighted_solver(graph, ids, delta, d, k, "3.5", **kw)
+
+
+def _component_distances(graph: Graph, source: int, comp: set) -> Dict[int, int]:
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors(u):
+            if w in comp and w not in dist:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    return dist

@@ -1,0 +1,45 @@
+"""Landscape theory, exponent formulas, and measurement utilities."""
+
+from .landscape import (
+    ProblemParams,
+    Region,
+    alpha1_logstar,
+    alpha1_poly,
+    alpha_vector_logstar,
+    alpha_vector_poly,
+    efficiency_factor,
+    efficiency_factor_relaxed,
+    find_logstar_problem,
+    find_poly_problem,
+    invert_alpha1,
+    landscape_regions,
+    params_for_rational_x,
+)
+from .mathutil import (
+    fit_power_law,
+    fit_power_law_loglogstar,
+    geometric_range,
+    log_star,
+    log_star_float,
+)
+
+__all__ = [
+    "ProblemParams",
+    "Region",
+    "alpha1_logstar",
+    "alpha1_poly",
+    "alpha_vector_logstar",
+    "alpha_vector_poly",
+    "efficiency_factor",
+    "efficiency_factor_relaxed",
+    "find_logstar_problem",
+    "find_poly_problem",
+    "invert_alpha1",
+    "landscape_regions",
+    "params_for_rational_x",
+    "fit_power_law",
+    "fit_power_law_loglogstar",
+    "geometric_range",
+    "log_star",
+    "log_star_float",
+]

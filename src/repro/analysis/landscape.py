@@ -1,0 +1,304 @@
+"""The node-averaged complexity landscape: exponent formulas and regions.
+
+This module encodes the paper's quantitative results as executable formulas:
+
+* the efficiency factor ``x = log(D-d-1)/log(D-1)`` of weight trees
+  (Lemma 23) and its relaxed variant ``x' = log(D-d+1)/log(D-1)`` (Lemma 52);
+* the optimal exponents ``alpha_1`` in the polynomial regime (Lemma 33) and
+  the ``log*`` regime (Lemma 36), plus the full ``alpha_i`` vectors;
+* the parameter searches of Lemma 58 (polynomial density / Theorem 1) and
+  Theorem 6 via Lemma 62 (``log*`` density with an ``epsilon`` gap);
+* the landscape *regions* of Figure 1 (before) and Figure 2 (after).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "efficiency_factor",
+    "efficiency_factor_relaxed",
+    "alpha1_poly",
+    "alpha1_logstar",
+    "alpha_vector_poly",
+    "alpha_vector_logstar",
+    "invert_alpha1",
+    "params_for_rational_x",
+    "find_poly_problem",
+    "find_logstar_problem",
+    "Region",
+    "landscape_regions",
+]
+
+
+# ----------------------------------------------------------------------
+# efficiency factors (Lemma 23 / Lemma 52)
+# ----------------------------------------------------------------------
+def efficiency_factor(delta: int, d: int) -> float:
+    """``x = log(delta-d-1) / log(delta-1)`` — Lemma 23.
+
+    Fraction of weight nodes in a balanced ``delta``-regular tree that must
+    copy the active node's output: ``w^x`` out of ``w``.
+    Requires ``delta >= d + 3`` (so the numerator argument is >= 2).
+    """
+    if delta < d + 3:
+        raise ValueError("need delta >= d + 3")
+    return math.log(delta - d - 1) / math.log(delta - 1)
+
+
+def efficiency_factor_relaxed(delta: int, d: int) -> float:
+    """``x' = log(delta-d+1) / log(delta-1)`` — the upper-bound factor of
+    Theorem 5 (what the adapted fast-decomposition algorithm achieves)."""
+    if delta < d + 3:
+        raise ValueError("need delta >= d + 3")
+    return math.log(delta - d + 1) / math.log(delta - 1)
+
+
+# ----------------------------------------------------------------------
+# optimal exponents (Lemma 33 / Lemma 36)
+# ----------------------------------------------------------------------
+def alpha1_poly(x: float, k: int) -> float:
+    """``alpha_1 = 1 / sum_{j=0}^{k-1} (2-x)^j`` — Lemma 33.
+
+    The node-averaged complexity of ``Pi^{2.5}_{delta,d,k}`` is
+    ``Theta(n^{alpha_1})`` (Theorems 2 and 3).  At ``x=0`` this degenerates
+    to the unweighted ``1/(2^k - 1)`` of [BBK+23b]; at ``x=1`` it equals the
+    worst-case exponent ``1/k``.
+    """
+    _check_xk(x, k)
+    return 1.0 / sum((2.0 - x) ** j for j in range(k))
+
+
+def alpha1_logstar(x: float, k: int) -> float:
+    """``alpha_1 = 1 / (1 + (1-x) sum_{j=0}^{k-2} (2-x)^j)`` — Lemma 36.
+
+    Lower-bound exponent of ``Pi^{3.5}_{delta,d,k}`` over ``log* n``
+    (Theorem 4); the upper bound (Theorem 5) is the same formula at ``x'``.
+    """
+    _check_xk(x, k)
+    return 1.0 / (1.0 + (1.0 - x) * sum((2.0 - x) ** j for j in range(k - 1)))
+
+
+def _check_xk(x: float, k: int) -> None:
+    if not 0.0 <= x <= 1.0:
+        raise ValueError("x must be in [0, 1]")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+
+
+def alpha_vector_poly(x: float, k: int) -> List[float]:
+    """The optimal ``(alpha_1, ..., alpha_{k-1})`` of Lemma 33.
+
+    ``alpha_i = (2 - x) * alpha_{i-1}``; path lengths in the lower-bound
+    construction are ``l_i = n^{alpha_i}``.
+    """
+    a1 = alpha1_poly(x, k)
+    out = [a1]
+    for _ in range(k - 2):
+        out.append((2.0 - x) * out[-1])
+    return out
+
+def alpha_vector_logstar(x: float, k: int) -> List[float]:
+    """The optimal ``(alpha_1, ..., alpha_{k-1})`` of Lemma 36
+    (lengths ``l_i = (log* n)^{alpha_i}``)."""
+    a1 = alpha1_logstar(x, k)
+    out = [a1]
+    for _ in range(k - 2):
+        out.append((2.0 - x) * out[-1])
+    return out
+
+
+def invert_alpha1(target: float, k: int, regime: str = "poly") -> float:
+    """Numerically invert ``alpha_1`` (both regimes are strictly increasing
+    and continuous on [0,1] — Lemmas 57 and 61).  Returns the ``x`` with
+    ``alpha_1(x) = target``; raises if target is outside the range."""
+    fn = alpha1_poly if regime == "poly" else alpha1_logstar
+    lo_v, hi_v = fn(0.0, k), fn(1.0, k)
+    if not lo_v <= target <= hi_v:
+        raise ValueError(
+            f"target {target} outside [{lo_v}, {hi_v}] = alpha1([0,1]) for k={k}"
+        )
+    lo, hi = 0.0, 1.0
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if fn(mid, k) < target:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+# ----------------------------------------------------------------------
+# parameter search (Lemma 58, Lemma 62)
+# ----------------------------------------------------------------------
+def params_for_rational_x(p: int, q: int, scale: int = 1) -> Tuple[int, int]:
+    """Realize the efficiency factor ``x = p/q`` exactly (Lemma 58 / 62).
+
+    Choose ``delta = 2^{cq} + 1`` and ``d = 2^{cq} - 2^{cp}`` with
+    ``c = scale``; then ``x = log(delta-d-1)/log(delta-1) = p/q``.
+    Larger ``scale`` shrinks the gap ``x' - x`` (Lemma 62).
+    Returns ``(delta, d)``.
+    """
+    if not 0 < p < q:
+        raise ValueError("need 0 < p < q")
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    delta = 2 ** (scale * q) + 1
+    d = 2 ** (scale * q) - 2 ** (scale * p)
+    assert delta >= d + 3
+    return delta, d
+
+
+@dataclass
+class ProblemParams:
+    """A concrete LCL from the weighted family realizing a target exponent."""
+
+    regime: str           # "poly" (Pi^{2.5}) or "logstar" (Pi^{3.5})
+    delta: int
+    d: int
+    k: int
+    x: float              # exact efficiency factor
+    x_relaxed: float      # x' (only meaningful for logstar upper bound)
+    exponent_lower: float  # alpha_1(x)
+    exponent_upper: float  # alpha_1(x) for poly (tight); alpha_1(x') for logstar
+
+    def describe(self) -> str:
+        base = "n" if self.regime == "poly" else "log* n"
+        return (
+            f"Pi^{{{'2.5' if self.regime == 'poly' else '3.5'}}}_"
+            f"{{D={self.delta},d={self.d},k={self.k}}}: node-averaged in "
+            f"[Omega(({base})^{self.exponent_lower:.4f}), "
+            f"O(({base})^{self.exponent_upper:.4f})]"
+        )
+
+
+def _rational_between(x1: float, x2: float, max_den: int = 4096) -> Fraction:
+    """A small-denominator rational strictly inside (x1, x2)."""
+    if not 0.0 < x1 < x2 < 1.0:
+        raise ValueError("need 0 < x1 < x2 < 1")
+    for den in range(2, max_den + 1):
+        num_lo = math.floor(x1 * den) + 1
+        num_hi = math.ceil(x2 * den) - 1
+        for num in range(num_lo, num_hi + 1):
+            if 0 < num < den and x1 < num / den < x2:
+                return Fraction(num, den)
+    raise ValueError(f"no rational with denominator <= {max_den} in ({x1},{x2})")
+
+
+def find_poly_problem(r1: float, r2: float) -> ProblemParams:
+    """Theorem 1 / Lemma 58: an LCL with node-averaged Theta(n^c),
+    ``r1 < c < r2``, for ``0 < r1 < r2 <= 1/2``.
+
+    Picks ``k`` with ``[1/(2^k - 1), 1/k]`` overlapping ``(r1, r2)``, then a
+    rational ``x`` realizing a ``c`` inside the window.
+    """
+    if not 0.0 < r1 < r2 <= 0.5:
+        raise ValueError("need 0 < r1 < r2 <= 1/2")
+    for k in range(2, 64):
+        lo, hi = 1.0 / (2**k - 1), 1.0 / k
+        wlo, whi = max(r1, lo), min(r2, hi)
+        if wlo < whi:
+            x1 = invert_alpha1(wlo, k, "poly") if wlo > lo else 1e-9
+            x2 = invert_alpha1(whi, k, "poly") if whi < hi else 1 - 1e-9
+            frac = _rational_between(max(x1, 1e-6), min(x2, 1 - 1e-6))
+            delta, d = params_for_rational_x(frac.numerator, frac.denominator)
+            x = efficiency_factor(delta, d)
+            c = alpha1_poly(x, k)
+            return ProblemParams(
+                regime="poly", delta=delta, d=d, k=k, x=x,
+                x_relaxed=efficiency_factor_relaxed(delta, d),
+                exponent_lower=c, exponent_upper=c,
+            )
+    raise ValueError(f"no k found for window ({r1}, {r2})")
+
+
+def find_logstar_problem(r1: float, r2: float, eps: float) -> ProblemParams:
+    """Theorem 6 via Lemma 62: an LCL with node-averaged complexity between
+    ``Omega((log* n)^c)`` and ``O((log* n)^{c+eps})`` with ``r1 <= c <= r2``.
+
+    Scales ``delta, d`` (Lemma 62) until ``alpha_1(x') - alpha_1(x) < eps``.
+    """
+    if not 0.0 < r1 < r2 < 1.0:
+        raise ValueError("need 0 < r1 < r2 < 1")
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    for k in range(2, 64):
+        # alpha1_logstar ranges over [1/2^{k-1}, 1) as x goes 0 -> 1.
+        # (The paper's Lemma 61 states 1/(2^k - 1), copied from the
+        # polynomial regime; the formula itself gives 1/2^{k-1}, which is
+        # also what Theorem 11's unweighted bound requires at x = 0.)
+        lo, hi = 1.0 / 2 ** (k - 1), 1.0
+        wlo, whi = max(r1, lo), min(r2, hi)
+        if wlo < whi:
+            x1 = invert_alpha1(wlo, k, "logstar") if wlo > lo else 1e-9
+            x2 = invert_alpha1(whi, k, "logstar") if whi < hi else 1 - 1e-9
+            frac = _rational_between(max(x1, 1e-6), min(x2, 1 - 1e-6))
+            for scale in range(1, 24):
+                delta, d = params_for_rational_x(
+                    frac.numerator, frac.denominator, scale
+                )
+                x = efficiency_factor(delta, d)
+                xr = efficiency_factor_relaxed(delta, d)
+                c_lo = alpha1_logstar(x, k)
+                c_hi = alpha1_logstar(xr, k)
+                if c_hi - c_lo < eps and c_hi <= r2 + eps:
+                    return ProblemParams(
+                        regime="logstar", delta=delta, d=d, k=k, x=x,
+                        x_relaxed=xr, exponent_lower=c_lo, exponent_upper=c_hi,
+                    )
+            raise ValueError("could not close the x'-x gap (increase scale cap)")
+    raise ValueError(f"no k found for window ({r1}, {r2})")
+
+
+# ----------------------------------------------------------------------
+# landscape regions (Figures 1 and 2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Region:
+    """One region of the landscape: an achievable point/band or a gap."""
+
+    kind: str        # "point" | "dense" | "gap"
+    low: str         # human-readable bound expressions
+    high: str
+    source: str      # theorem/citation establishing the region
+    note: str = ""
+
+
+def landscape_regions(after: bool = True) -> List[Region]:
+    """The deterministic node-averaged landscape on bounded-degree trees.
+
+    ``after=False`` reproduces Figure 1 (state before this paper),
+    ``after=True`` Figure 2 (complete landscape).
+    """
+    before = [
+        Region("point", "1", "1", "trivial", "O(1) problems"),
+        Region("point", "log* n", "log* n", "[BBK+23b]",
+               "e.g. 3-coloring trees in O(log* n) averaged"),
+        Region("gap", "omega(log* n)", "n^{o(1)}", "[BBK+23b]",
+               "no LCL in this range"),
+        Region("dense", "n^{1/(2^k-1)}", "n^{1/(2^k-1)}", "[BBK+23b]",
+               "points from k-hierarchical 2.5-coloring"),
+        Region("point", "n", "n", "2-coloring", "linear problems"),
+    ]
+    if not after:
+        return before
+    return [
+        Region("point", "1", "1", "trivial + Thm 7 decidability",
+               "O(1) node-averaged; membership decidable"),
+        Region("gap", "omega(1)", "(log* n)^{o(1)}", "Theorem 7",
+               "no deterministic LCL in this range"),
+        Region("dense", "(log* n)^{Omega(1)}", "o(log* n)", "Theorem 6",
+               "infinitely dense: Pi^{3.5}_{D,d,k} within any [c, c+eps]"),
+        Region("point", "log* n", "log* n", "Cor. 10 / [BBK+23b]",
+               "k=1 hierarchical 3.5-coloring"),
+        Region("gap", "omega(log* n)", "n^{o(1)}", "[BBK+23b]",
+               "unchanged"),
+        Region("dense", "n^{Omega(1)}", "sqrt(n)", "Theorem 1 + Lemma 69",
+               "infinitely dense incl. Theta(n^{1/k}) endpoints"),
+        Region("gap", "omega(sqrt(n))", "o(n)", "Corollary 60",
+               "no LCL in this range"),
+        Region("point", "n", "n", "2-coloring + Cor. 60", "linear problems"),
+    ]

@@ -1,0 +1,90 @@
+"""Mathematical helpers: iterated logarithm, exponent fitting, shape checks.
+
+``log*`` is the number of times ``log2`` must be applied before the value
+drops to at most 1 — the complexity unit of Linial's colouring lower bound
+and of the paper's whole sub-``log* n`` regime.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = ["log_star", "log_star_float", "fit_power_law", "fit_power_law_loglogstar"]
+
+
+def log_star(n: float, base: float = 2.0) -> int:
+    """Iterated logarithm: min k such that log applied k times gives <= 1."""
+    if n < 0:
+        raise ValueError("log* undefined for negative values")
+    count = 0
+    x = n  # keep big ints un-floated; math.log handles them exactly
+    while x > 1.0:
+        x = math.log(x, base)
+        count += 1
+    return count
+
+
+def log_star_float(n: float, base: float = 2.0) -> float:
+    """A smoothed log*: integer part plus the fractional last step.
+
+    Useful for fitting because plain log* is a step function that takes
+    only ~5 distinct values for any practical n.
+    """
+    if n < 0:
+        raise ValueError("log* undefined for negative values")
+    count = 0.0
+    x = float(n)
+    while x > 2.0:
+        x = math.log(x, base)
+        count += 1.0
+    if x > 1.0:
+        count += math.log(x, base)
+    return count
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit of ``y = C * x^alpha``; returns ``(alpha, C)``.
+
+    Fitted in log-log space.  All values must be positive.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching samples")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((a - mx) ** 2 for a in lx)
+    if sxx == 0:
+        raise ValueError("x values must not all be equal")
+    sxy = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    alpha = sxy / sxx
+    log_c = my - alpha * mx
+    return alpha, math.exp(log_c)
+
+
+def fit_power_law_loglogstar(
+    ns: Sequence[float], ys: Sequence[float]
+) -> Tuple[float, float]:
+    """Fit ``y = C * (log* n)^alpha`` using the smoothed log*.
+
+    Returns ``(alpha, C)``.  This is the shape the paper's sub-``log*``
+    regime predicts; with practical n, ``log* n`` spans only a few values,
+    so treat fitted exponents as indicative of *ordering*, not as precise.
+    """
+    xs = [log_star_float(n) for n in ns]
+    return fit_power_law(xs, ys)
+
+
+def geometric_range(lo: int, hi: int, points: int) -> List[int]:
+    """``points`` roughly geometrically spaced integers in ``[lo, hi]``."""
+    if points < 2 or lo < 1 or hi <= lo:
+        raise ValueError("need points >= 2 and 1 <= lo < hi")
+    ratio = (hi / lo) ** (1.0 / (points - 1))
+    values = []
+    for i in range(points):
+        v = int(round(lo * ratio**i))
+        if not values or v > values[-1]:
+            values.append(v)
+    return values

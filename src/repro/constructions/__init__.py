@@ -1,0 +1,17 @@
+"""Lower-bound constructions and workload generators."""
+
+from .lowerbound import LowerBoundGraph, build_lower_bound_graph, paper_lengths
+from .trees import caterpillar, random_forest_inputs, random_tree, weight_tree_edges
+from .weighted import WeightedInstance, build_weighted_construction
+
+__all__ = [
+    "LowerBoundGraph",
+    "build_lower_bound_graph",
+    "paper_lengths",
+    "caterpillar",
+    "random_forest_inputs",
+    "random_tree",
+    "weight_tree_edges",
+    "WeightedInstance",
+    "build_weighted_construction",
+]

@@ -1,0 +1,105 @@
+"""Tree builders: weight trees, random trees, caterpillars.
+
+:func:`attach_weight_tree` realizes the paper's "balanced Delta-regular tree
+of w weight nodes attached to an active node" (Lemma 23): the root hangs off
+the active node, every weight node has at most ``delta - 1`` children, and
+levels fill breadth-first so the tree is as balanced as ``w`` allows.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import List, Optional, Tuple
+
+from ..local.graph import Graph
+
+__all__ = [
+    "weight_tree_edges",
+    "random_tree",
+    "caterpillar",
+    "random_forest_inputs",
+]
+
+
+def weight_tree_edges(
+    w: int, delta: int, root_handle: int, first_handle: int
+) -> Tuple[List[Tuple[int, int]], int]:
+    """Edges of a balanced ``delta``-regular tree with ``w`` nodes whose
+    root attaches to ``root_handle``.
+
+    New nodes take handles ``first_handle, first_handle+1, ...``; the root
+    of the weight tree is ``first_handle`` (edge to ``root_handle``
+    included).  Every node gets at most ``delta - 1`` children, so the
+    attached node's degree budget is respected.  Returns ``(edges,
+    next_free_handle)``.
+    """
+    if w <= 0:
+        return [], first_handle
+    if delta < 2:
+        raise ValueError("delta must be >= 2")
+    edges = [(root_handle, first_handle)]
+    frontier = deque([first_handle])
+    next_handle = first_handle + 1
+    remaining = w - 1
+    while remaining > 0:
+        parent = frontier.popleft()
+        for _ in range(delta - 1):
+            if remaining == 0:
+                break
+            edges.append((parent, next_handle))
+            frontier.append(next_handle)
+            next_handle += 1
+            remaining -= 1
+    return edges, next_handle
+
+
+def random_tree(n: int, max_degree: int = 4, rng: Optional[random.Random] = None) -> Graph:
+    """A uniform-ish random tree with bounded degree (random attachment
+    among nodes with spare degree)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = rng or random.Random()
+    edges: List[Tuple[int, int]] = []
+    degree = [0] * n
+    candidates = [0]
+    for v in range(1, n):
+        parent = rng.choice(candidates)
+        edges.append((parent, v))
+        degree[parent] += 1
+        degree[v] += 1
+        if degree[parent] >= max_degree:
+            candidates.remove(parent)
+        if degree[v] < max_degree:
+            candidates.append(v)
+        if not candidates:
+            raise ValueError("degree budget exhausted; raise max_degree")
+    return Graph(n, edges)
+
+
+def caterpillar(spine: int, legs: int) -> Graph:
+    """A caterpillar: a spine path with ``legs`` pendant nodes per spine
+    node.  A classic worst case for peeling-based level computations."""
+    if spine < 1 or legs < 0:
+        raise ValueError("need spine >= 1 and legs >= 0")
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    handle = spine
+    for s in range(spine):
+        for _ in range(legs):
+            edges.append((s, handle))
+            handle += 1
+    return Graph(handle, edges)
+
+
+def random_forest_inputs(
+    graph: Graph, weight_fraction: float, rng: Optional[random.Random] = None
+) -> List[str]:
+    """Random Active/Weight input assignment (for fuzzing the weighted
+    problem checkers)."""
+    from ..lcl.weighted import ACTIVE, WEIGHT
+
+    rng = rng or random.Random()
+    return [
+        WEIGHT if rng.random() < weight_fraction else ACTIVE
+        for _ in graph.nodes()
+    ]

@@ -1,0 +1,88 @@
+"""The weighted lower-bound construction (Definition 25, Figure 4).
+
+Take the Definition-18 graph ``G'`` on ``n' = n/k`` nodes (lengths scaled by
+``k^{-1/k}``), then for every level ``i in {2..k}`` distribute ``n/k``
+weight nodes evenly over the level-``i`` nodes as balanced ``delta``-regular
+trees (one tree per node).  Nodes of ``G'`` get input ``Active``, tree nodes
+get ``Weight`` — a valid instance of ``Pi^Z_{delta,d,k}`` with a linear
+amount of weight resting on every level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..lcl.weighted import ACTIVE, WEIGHT
+from ..local.graph import Graph
+from .lowerbound import LowerBoundGraph, build_lower_bound_graph
+from .trees import weight_tree_edges
+
+__all__ = ["WeightedInstance", "build_weighted_construction"]
+
+
+@dataclass
+class WeightedInstance:
+    """A ``Pi^Z`` instance: graph with Active/Weight inputs plus metadata.
+
+    ``core`` is the underlying Definition-18 construction (handles of the
+    active nodes coincide with the core graph's handles);
+    ``tree_of[a]`` lists the weight-node handles attached to active node
+    ``a`` (empty for level-1 nodes).
+    """
+
+    graph: Graph
+    core: LowerBoundGraph
+    delta: int
+    tree_of: Dict[int, List[int]]
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    def active_nodes(self) -> List[int]:
+        return list(range(self.core.graph.n))
+
+    def weight_nodes(self) -> List[int]:
+        return list(range(self.core.graph.n, self.graph.n))
+
+
+def build_weighted_construction(
+    lengths: Sequence[int],
+    delta: int,
+    weight_per_level: int,
+) -> WeightedInstance:
+    """Build Definition 25 from explicit core path lengths.
+
+    ``lengths`` are the (already scaled) ``l'_1..l'_k`` of the core graph;
+    ``weight_per_level`` is the number of weight nodes to spread over each
+    of the levels ``2..k`` (the paper's ``n/k``).
+    """
+    if delta < 3:
+        raise ValueError("delta must be >= 3")
+    core = build_lower_bound_graph(lengths)
+    k = core.k
+    edges: List[Tuple[int, int]] = list(core.graph.edges())
+    next_handle = core.graph.n
+    tree_of: Dict[int, List[int]] = {}
+
+    for i in range(2, k + 1):
+        targets = core.nodes_of_intended_level(i)
+        if not targets or weight_per_level <= 0:
+            continue
+        per_node = weight_per_level // len(targets)
+        extra = weight_per_level - per_node * len(targets)
+        for idx, a in enumerate(targets):
+            w = per_node + (1 if idx < extra else 0)
+            if w == 0:
+                continue
+            first = next_handle
+            tree_edges, next_handle = weight_tree_edges(w, delta, a, first)
+            edges.extend(tree_edges)
+            tree_of[a] = list(range(first, next_handle))
+
+    n_total = next_handle
+    inputs = [ACTIVE] * core.graph.n + [WEIGHT] * (n_total - core.graph.n)
+    graph = Graph(n_total, edges, inputs)
+    return WeightedInstance(graph=graph, core=core, delta=delta, tree_of=tree_of)

@@ -1,0 +1,75 @@
+"""Command-line experiment index.
+
+Lists the E1..E18 experiments and how to regenerate each table::
+
+    python -m repro.experiments            # list everything
+    python -m repro.experiments e04        # show a recorded table
+
+Tables are produced by ``pytest benchmarks/ --benchmark-only`` and stored
+under ``benchmarks/results/``; this module is a convenience viewer that
+also works from an installed package checkout.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict
+
+EXPERIMENTS: Dict[str, str] = {
+    "e01": "Figures 1/2 — landscape regions and density witnesses",
+    "e02": "Theorem 11 — 3.5-coloring node-averaged Theta((log* n)^(1/2^(k-1)))",
+    "e03": "Corollary 10 — 3.5-coloring worst case Theta(log* n)",
+    "e04": "Theorems 2/3 — Pi^2.5 node-averaged Theta(n^alpha1)",
+    "e05": "Theorems 4/5 — Pi^3.5 node-averaged bounds",
+    "e06": "Theorem 1 — density in the polynomial regime",
+    "e07": "Theorem 6 / Lemma 62 — density in the log* regime",
+    "e08": "Lemma 23 / Cor. 24 — weight-tree efficiency w^x",
+    "e09": "Lemma 40 — |U_Copy| <= 6|U|^x",
+    "e10": "Lemmas 65/68/69 — weight-augmented 2.5, x = 1 anchor",
+    "e11": "Theorem 7 — gap decider verdicts",
+    "e12": "Corollary 60 — the omega(sqrt n)..o(n) gap",
+    "e13": "Lemma 16 [Feu17] — paths: averaged == worst",
+    "e14": "Lemma 13 — phase survivor decay",
+    "e15": "Lemma 72 — decomposition layer counts",
+    "e16": "Corollaries 47/49 — fast d-free solver O(1) averaged",
+    "e17": "Lemma 32 — minimax gamma ablation",
+    "e18": "[BBK+23b] — unweighted 2.5 anchor (x = 0)",
+}
+
+
+def results_dir() -> str:
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    return os.path.join(here, "benchmarks", "results")
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print("Experiments (regenerate with: pytest benchmarks/ --benchmark-only)\n")
+        for key, desc in EXPERIMENTS.items():
+            print(f"  {key}  {desc}")
+        print("\nView a recorded table: python -m repro.experiments e04")
+        return 0
+    key = argv[1].lower()
+    if key not in EXPERIMENTS:
+        print(f"unknown experiment {key!r}; known: {', '.join(EXPERIMENTS)}")
+        return 1
+    rdir = results_dir()
+    shown = False
+    if os.path.isdir(rdir):
+        for fname in sorted(os.listdir(rdir)):
+            if fname.startswith(key):
+                with open(os.path.join(rdir, fname)) as fh:
+                    print(fh.read())
+                shown = True
+    if not shown:
+        print(
+            f"no recorded table for {key}; run "
+            f"pytest benchmarks/bench_{key}_*.py --benchmark-only first"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

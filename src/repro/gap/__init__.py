@@ -1,0 +1,36 @@
+"""Section-11 machinery: classes, testing procedure, Theorem-7 decider."""
+
+from .classes import (
+    g_single_node,
+    leaf_label_sets,
+    maximal_rectangles,
+    node_feasible,
+    path_relation,
+)
+from .decider import (
+    GapVerdict,
+    decide_node_averaged_class,
+    find_good_function,
+    is_constant_good,
+)
+from .problems import all_equal, edge_2coloring, edge_3coloring, free_labeling
+from .testing import RectangleChooser, TestOutcome, run_testing_procedure
+
+__all__ = [
+    "g_single_node",
+    "leaf_label_sets",
+    "maximal_rectangles",
+    "node_feasible",
+    "path_relation",
+    "GapVerdict",
+    "decide_node_averaged_class",
+    "find_good_function",
+    "is_constant_good",
+    "all_equal",
+    "edge_2coloring",
+    "edge_3coloring",
+    "free_labeling",
+    "RectangleChooser",
+    "TestOutcome",
+    "run_testing_procedure",
+]

@@ -1,0 +1,165 @@
+"""Label-sets, classes, and the ``g`` computation (Definitions 73-74).
+
+In the generic solver a *label-set* ``L`` is the set of output labels that
+an edge could still carry so that the subtree hanging below it remains
+completable.  For a single node (rake step) the next label-set is
+
+    g(v) = { l : exists l_i in L_i with the multiset
+             {(in_out_edge, l)} u {(in_i, l_i)} allowed at v }.
+
+For a short path with two outgoing edges (compress step) the *maximal
+class* is captured by the relation ``R`` of feasible endpoint label
+pairs, and an *independent class* is exactly a non-empty combinatorial
+rectangle ``S1 x S2`` contained in ``R``: independence (Definition 73)
+says any mix of allowed endpoint choices stays feasible, which for two
+outgoing edges is precisely the rectangle property.  The function
+``f_{Pi,k}`` of Definition 74 is therefore a choice of rectangle for
+every maximal class; :mod:`repro.gap.testing` enumerates these choices.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..lcl.blackwhite import BLACK, WHITE, BlackWhiteLCL
+
+__all__ = [
+    "LabelSet",
+    "g_single_node",
+    "leaf_label_sets",
+    "node_feasible",
+    "path_relation",
+    "maximal_rectangles",
+]
+
+LabelSet = FrozenSet
+
+
+def node_feasible(
+    problem: BlackWhiteLCL,
+    color: str,
+    fixed: Sequence[Tuple[object, object]],
+    free: Sequence[Tuple[object, LabelSet]],
+) -> bool:
+    """Is there a choice from the free edges' label-sets making the node
+    constraint hold together with the fixed (input, output) pairs?"""
+    pools = [[(inp, lab) for lab in ls] for inp, ls in free]
+    for combo in itertools.product(*pools):
+        if problem.allows(color, list(fixed) + list(combo)):
+            return True
+    return False
+
+
+def g_single_node(
+    problem: BlackWhiteLCL,
+    color: str,
+    incoming: Sequence[Tuple[object, LabelSet]],
+    out_input,
+) -> LabelSet:
+    """Definition 74, single-node case: the label-set of the outgoing edge."""
+    good = set()
+    for lab in problem.sigma_out:
+        if node_feasible(problem, color, [(out_input, lab)], incoming):
+            good.add(lab)
+    return frozenset(good)
+
+
+def leaf_label_sets(problem: BlackWhiteLCL, color: str) -> Dict[object, LabelSet]:
+    """Label-sets ``g(v)`` of leaves, per outgoing-edge input label."""
+    return {
+        inp: g_single_node(problem, color, [], inp)
+        for inp in problem.sigma_in
+    }
+
+
+def path_relation(
+    problem: BlackWhiteLCL,
+    colors: Sequence[str],
+    edge_inputs: Sequence,
+    pendant: Sequence[Sequence[Tuple[object, LabelSet]]],
+    out_inputs: Tuple[object, object],
+) -> FrozenSet[Tuple[object, object]]:
+    """The maximal class of a compress path as a relation.
+
+    ``colors[i]`` is the colour of path node ``i``; ``edge_inputs[j]`` is
+    the input of the edge between nodes ``j`` and ``j+1``;
+    ``pendant[i]`` lists (input, label-set) of the pendant incoming edges
+    at node ``i``; ``out_inputs`` are the inputs of the two outgoing edges
+    at the path's endpoints.  Returns all feasible (left-out, right-out)
+    output pairs, via a sweep DP along the path.
+    """
+    m = len(colors)
+    assert len(edge_inputs) == m - 1 and len(pendant) == m
+    relation: Set[Tuple[object, object]] = set()
+    for left in problem.sigma_out:
+        # reachable[l] = set of labels on edge (i, i+1) consistent so far
+        reachable: Set = set()
+        for lab in problem.sigma_out:
+            fixed = [(out_inputs[0], left)]
+            if m == 1:
+                break
+            fixed.append((edge_inputs[0], lab))
+            if node_feasible(problem, colors[0], fixed, pendant[0]):
+                reachable.add(lab)
+        if m == 1:
+            for right in problem.sigma_out:
+                if node_feasible(
+                    problem, colors[0],
+                    [(out_inputs[0], left), (out_inputs[1], right)],
+                    pendant[0],
+                ):
+                    relation.add((left, right))
+            continue
+        for i in range(1, m - 1):
+            nxt: Set = set()
+            for prev_lab in reachable:
+                for lab in problem.sigma_out:
+                    fixed = [(edge_inputs[i - 1], prev_lab), (edge_inputs[i], lab)]
+                    if node_feasible(problem, colors[i], fixed, pendant[i]):
+                        nxt.add(lab)
+            reachable = nxt
+            if not reachable:
+                break
+        for prev_lab in reachable:
+            for right in problem.sigma_out:
+                fixed = [(edge_inputs[m - 2], prev_lab), (out_inputs[1], right)]
+                if node_feasible(problem, colors[m - 1], fixed, pendant[m - 1]):
+                    relation.add((left, right))
+    return frozenset(relation)
+
+
+def maximal_rectangles(
+    relation: FrozenSet[Tuple[object, object]]
+) -> List[Tuple[LabelSet, LabelSet]]:
+    """All maximal non-empty rectangles ``S1 x S2`` inside the relation —
+    the candidate independent classes of Definition 73."""
+    if not relation:
+        return []
+    lefts = sorted({a for a, _ in relation}, key=repr)
+    rects: List[Tuple[LabelSet, LabelSet]] = []
+    seen: Set[Tuple[LabelSet, LabelSet]] = set()
+    # grow from every subset of left labels that share right-compatibility
+    for r in range(1, len(lefts) + 1):
+        for combo in itertools.combinations(lefts, r):
+            rights = None
+            for a in combo:
+                row = {b for x, b in relation if x == a}
+                rights = row if rights is None else rights & row
+            if not rights:
+                continue
+            key = (frozenset(combo), frozenset(rights))
+            if key in seen:
+                continue
+            seen.add(key)
+            rects.append(key)
+    # keep only maximal ones
+    maximal = []
+    for s1, s2 in rects:
+        dominated = any(
+            (s1 <= t1 and s2 <= t2) and (s1, s2) != (t1, t2)
+            for t1, t2 in rects
+        )
+        if not dominated:
+            maximal.append((s1, s2))
+    return maximal

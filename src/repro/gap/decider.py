@@ -1,0 +1,160 @@
+"""Deciders for the Section-11 results.
+
+* :func:`find_good_function` — enumerate rectangle choices (there are
+  finitely many candidate functions ``f_{Pi,infinity}``) and return one
+  that passes the testing procedure, or ``None``.  Existence of a good
+  function characterizes ``O(log* n)`` node-averaged solvability
+  [BBK+23a]; non-existence puts the problem in the polynomial regime.
+* :func:`is_constant_good` — Definition 80: a good function is
+  *constant-good* if its compress problem ``Pi'`` (Definition 77) is
+  O(1)-solvable on paths.  We decide this with the homogeneous-label
+  criterion: a single output ``l*`` that (i) lies in every reachable
+  label-set (so label-set-constrained edges may carry it) and (ii) keeps
+  every path node feasible when both path edges carry ``l*``, for every
+  reachable pendant combination.  The criterion is sound in general and
+  complete for the inputless radius-1 problems used in the Theorem-7
+  demos (an O(1) algorithm on anonymous long paths is forced to be
+  order-invariant, hence homogeneous far from endpoints).
+* :func:`decide_node_averaged_class` — Theorem 7's decision: ``O(1)``
+  iff some constant-good function exists; otherwise the problem sits at
+  ``(log* n)^{Omega(1)}`` or above (good function but none constant-good),
+  or outside the ``log*`` regime entirely (no good function).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lcl.blackwhite import BLACK, WHITE, BlackWhiteLCL
+from .classes import maximal_rectangles, node_feasible
+from .testing import (
+    Entry,
+    RectangleChooser,
+    TestOutcome,
+    UnseenRelation,
+    run_testing_procedure,
+)
+
+__all__ = [
+    "find_good_function",
+    "is_constant_good",
+    "decide_node_averaged_class",
+    "GapVerdict",
+]
+
+
+def find_good_function(
+    problem: BlackWhiteLCL,
+    delta: int = 2,
+    ell: int = 2,
+    max_functions: int = 4096,
+    require_constant_good: bool = False,
+) -> Optional[Tuple[RectangleChooser, TestOutcome]]:
+    """Search the finite function space for a good ``f_{Pi,infinity}``.
+
+    Functions are built lazily: whenever the testing procedure meets a
+    relation with no assigned rectangle, we branch over its maximal
+    rectangles (depth-first)."""
+    stack: List[Dict] = [{}]
+    tried = 0
+    while stack and tried < max_functions:
+        choices = stack.pop()
+        tried += 1
+        chooser = RectangleChooser(choices)
+        try:
+            outcome = run_testing_procedure(problem, chooser, delta, ell)
+        except UnseenRelation as unseen:
+            rects = maximal_rectangles(unseen.relation)
+            if not rects:
+                continue  # this branch dies: empty class
+            for rect in rects:
+                branched = dict(choices)
+                branched[unseen.relation] = rect
+                stack.append(branched)
+            continue
+        if outcome.good:
+            if require_constant_good and not is_constant_good(
+                problem, chooser, outcome
+            ):
+                continue
+            return chooser, outcome
+    return None
+
+
+def is_constant_good(
+    problem: BlackWhiteLCL,
+    chooser: RectangleChooser,
+    outcome: TestOutcome,
+) -> bool:
+    """Definition 80 via the homogeneous-label criterion (see module
+    docstring)."""
+    reachable_sets = [e[2] for e in outcome.entries]
+    for lab in problem.sigma_out:
+        if any(lab not in ls for ls in reachable_sets):
+            continue
+        ok = True
+        for color in (WHITE, BLACK):
+            for inp in problem.sigma_in:
+                # interior path node with both edges labeled lab, plus any
+                # reachable pendant of the opposite colour (or none)
+                pendant_pool = [[]] + [
+                    [(e[1], e[2])]
+                    for e in outcome.entries
+                    if e[0] == (BLACK if color == WHITE else WHITE)
+                ]
+                for pend in pendant_pool:
+                    if not node_feasible(
+                        problem, color,
+                        [(inp, lab), (inp, lab)], pend,
+                    ):
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if not ok:
+                break
+        if ok:
+            return True
+    return False
+
+
+@dataclass
+class GapVerdict:
+    """Outcome of the Theorem-7 decision for one problem."""
+
+    problem: str
+    klass: str          # "O(1)" | "logstar-regime" | "no-good-function"
+    witness: Optional[RectangleChooser]
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.problem}: {self.klass} ({self.detail})"
+
+
+def decide_node_averaged_class(
+    problem: BlackWhiteLCL, delta: int = 2, ell: int = 2
+) -> GapVerdict:
+    """Theorem 7: decide whether the deterministic node-averaged
+    complexity is O(1); the gap makes everything else ``(log* n)^{Omega(1)}``
+    or beyond."""
+    const = find_good_function(problem, delta, ell, require_constant_good=True)
+    if const is not None:
+        return GapVerdict(
+            problem.name, "O(1)", const[0],
+            "constant-good function found; node-averaged O(1)",
+        )
+    good = find_good_function(problem, delta, ell)
+    if good is not None:
+        return GapVerdict(
+            problem.name, "logstar-regime", good[0],
+            "good function exists but none constant-good: complexity is "
+            "(log* n)^{Omega(1)} and O(log* n) node-averaged "
+            "(Theorem 7 gap: nothing lives in omega(1)..(log* n)^{o(1)})",
+        )
+    return GapVerdict(
+        problem.name, "no-good-function", None,
+        "no good f_{Pi,infinity}: outside the log* regime (polynomial or "
+        "unsolvable)",
+    )

@@ -1,0 +1,54 @@
+"""Concrete black-white LCLs for the Section-11 demos and tests.
+
+Each sits in a different region of the node-averaged landscape:
+
+* :func:`free_labeling` — every labeling allowed: O(1), and the decider
+  finds a constant-good function;
+* :func:`all_equal` — all incident outputs equal: O(1) (homogeneous);
+* :func:`edge_3coloring` — adjacent edges differ, 3 labels: worst case
+  Theta(log* n) on paths; a good function exists but no constant-good
+  one — by Theorem 7 its node-averaged complexity is >= (log* n)^{Omega(1)};
+* :func:`edge_2coloring` — adjacent edges differ, 2 labels: Theta(n);
+  the testing procedure rejects every function (singleton label-sets
+  collide at a final node).
+"""
+
+from __future__ import annotations
+
+from ..lcl.blackwhite import BlackWhiteLCL
+
+__all__ = ["free_labeling", "all_equal", "edge_3coloring", "edge_2coloring"]
+
+_IN = ("-",)  # single dummy input label
+
+
+def free_labeling() -> BlackWhiteLCL:
+    return BlackWhiteLCL(
+        "free-labeling", _IN, (0, 1),
+        lambda pairs: True,
+        lambda pairs: True,
+    )
+
+
+def all_equal() -> BlackWhiteLCL:
+    def same(pairs):
+        outs = {o for _, o in pairs}
+        return len(outs) <= 1
+
+    return BlackWhiteLCL("all-equal", _IN, (0, 1), same, same)
+
+
+def _proper(pairs) -> bool:
+    outs = [o for _, o in pairs]
+    return len(outs) == len(set(outs))
+
+
+def edge_3coloring() -> BlackWhiteLCL:
+    """Proper edge coloring with 3 colors (on paths: 3-coloring the line
+    graph, the Linial Theta(log* n) problem)."""
+    return BlackWhiteLCL("edge-3coloring", _IN, (1, 2, 3), _proper, _proper)
+
+
+def edge_2coloring() -> BlackWhiteLCL:
+    """Proper edge coloring with 2 colors: Theta(n) on paths."""
+    return BlackWhiteLCL("edge-2coloring", _IN, (1, 2), _proper, _proper)

@@ -1,0 +1,212 @@
+"""The testing procedure (Algorithm 1, Section 11.6).
+
+Given a black-white LCL and a candidate function ``f`` (a rectangle
+choice per maximal compress class, see :mod:`repro.gap.classes`), the
+procedure closes the set of *reachable label-sets* under
+
+* **rake combination** (steps 2a/2b): any multiset of up to ``Delta``
+  reachable subtrees glued below a fresh node — with an outgoing edge
+  (producing a new label-set via ``g``) or without one (a feasibility
+  check: an empty maximal class disqualifies ``f``);
+* **compress combination** (step 2f): any path of length ``ell..2*ell``
+  whose pendant edges carry reachable label-sets; its relation is mapped
+  through ``f`` to an independent rectangle, producing the two endpoint
+  label-sets.
+
+``f`` is *good* if no empty label-set or empty class is ever produced;
+the closure is finite (label-sets live in ``2^{Sigma_out}``), so the
+procedure terminates.  Reachable entries are tagged with the colour of
+the subtree root and the input on the outgoing edge.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..lcl.blackwhite import BLACK, WHITE, BlackWhiteLCL
+from .classes import (
+    LabelSet,
+    g_single_node,
+    leaf_label_sets,
+    maximal_rectangles,
+    node_feasible,
+    path_relation,
+)
+
+__all__ = ["Entry", "RectangleChooser", "TestOutcome", "run_testing_procedure"]
+
+Entry = Tuple[str, object, LabelSet]  # (root color, outgoing-edge input, label-set)
+
+Relation = FrozenSet[Tuple[object, object]]
+
+
+def _opp(color: str) -> str:
+    return BLACK if color == WHITE else WHITE
+
+
+class RectangleChooser:
+    """A candidate ``f_{Pi,k}``: maps each maximal class (keyed by its
+    relation) to an independent rectangle.  ``choices`` may be partial;
+    :class:`UnseenRelation` signals the enumerating decider to branch."""
+
+    def __init__(self, choices: Optional[Dict[Relation, Tuple[LabelSet, LabelSet]]] = None):
+        self.choices: Dict[Relation, Tuple[LabelSet, LabelSet]] = dict(choices or {})
+
+    def choose(self, relation: Relation) -> Tuple[LabelSet, LabelSet]:
+        if relation not in self.choices:
+            raise UnseenRelation(relation)
+        return self.choices[relation]
+
+
+class UnseenRelation(Exception):
+    def __init__(self, relation: Relation) -> None:
+        super().__init__(f"no rectangle chosen for relation {set(relation)}")
+        self.relation = relation
+
+
+@dataclass
+class TestOutcome:
+    good: bool
+    reason: str
+    entries: Set[Entry] = field(default_factory=set)
+    relations: Set[Relation] = field(default_factory=set)
+    iterations: int = 0
+
+
+def run_testing_procedure(
+    problem: BlackWhiteLCL,
+    chooser: RectangleChooser,
+    delta: int = 2,
+    ell: int = 2,
+    max_iterations: int = 64,
+    combo_budget: int = 200_000,
+) -> TestOutcome:
+    """Run Algorithm 1 until the reachable set stabilizes.
+
+    ``delta`` bounds node degrees in the assembled trees (``delta = 2``
+    is the path universe, which is where the Theorem-7 demos live);
+    larger ``delta`` enumerates pendant combinations and can be costly.
+    """
+    entries: Set[Entry] = set()
+    for color in (WHITE, BLACK):
+        for inp, ls in leaf_label_sets(problem, color).items():
+            if not ls:
+                return TestOutcome(False, f"leaf of color {color} has empty g")
+            entries.add((color, inp, ls))
+
+    relations: Set[Relation] = set()
+    budget = combo_budget
+
+    for iteration in range(1, max_iterations + 1):
+        before = len(entries)
+
+        # ---- rake closure (2a-2c) ------------------------------------
+        while True:
+            added = False
+            for color in (WHITE, BLACK):
+                child_entries = [e for e in entries if e[0] == _opp(color)]
+                # 2a: no outgoing edge, 1..delta children
+                for x in range(1, delta + 1):
+                    for combo in itertools.combinations_with_replacement(
+                        child_entries, x
+                    ):
+                        budget -= 1
+                        if budget < 0:
+                            return TestOutcome(False, "combination budget exceeded")
+                        incoming = [(e[1], e[2]) for e in combo]
+                        if not node_feasible(problem, color, [], incoming):
+                            return TestOutcome(
+                                False,
+                                f"empty maximal class at a degree-{x} {color} node",
+                                entries, relations, iteration,
+                            )
+                # 2b: outgoing edge, 0..delta-1 children
+                for x in range(0, delta):
+                    for combo in itertools.combinations_with_replacement(
+                        child_entries, x
+                    ):
+                        incoming = [(e[1], e[2]) for e in combo]
+                        for out_inp in problem.sigma_in:
+                            budget -= 1
+                            if budget < 0:
+                                return TestOutcome(False, "combination budget exceeded")
+                            ls = g_single_node(problem, color, incoming, out_inp)
+                            if not ls:
+                                return TestOutcome(
+                                    False,
+                                    f"empty label-set g at a {color} node",
+                                    entries, relations, iteration,
+                                )
+                            entry = (color, out_inp, ls)
+                            if entry not in entries:
+                                entries.add(entry)
+                                added = True
+            if not added:
+                break
+
+        # ---- compress step (2f) --------------------------------------
+        new_from_compress: Set[Entry] = set()
+        for length in range(ell, 2 * ell + 1):
+            for first_color in (WHITE, BLACK):
+                colors = [
+                    first_color if i % 2 == 0 else _opp(first_color)
+                    for i in range(length)
+                ]
+                pendant_options = _pendant_options(entries, colors, delta)
+                for pendants in pendant_options:
+                    for edge_inp in problem.sigma_in:
+                        edge_inputs = [edge_inp] * (length - 1)
+                        for out_inp in problem.sigma_in:
+                            budget -= len(problem.sigma_out) ** 2
+                            if budget < 0:
+                                return TestOutcome(False, "combination budget exceeded")
+                            rel = path_relation(
+                                problem, colors, edge_inputs, pendants,
+                                (out_inp, out_inp),
+                            )
+                            relations.add(rel)
+                            if not rel:
+                                return TestOutcome(
+                                    False,
+                                    f"empty compress relation (length {length})",
+                                    entries, relations, iteration,
+                                )
+                            s1, s2 = chooser.choose(rel)
+                            if not s1 or not s2:
+                                return TestOutcome(
+                                    False, "chooser returned an empty rectangle",
+                                    entries, relations, iteration,
+                                )
+                            new_from_compress.add((colors[0], out_inp, frozenset(s1)))
+                            new_from_compress.add((colors[-1], out_inp, frozenset(s2)))
+        entries |= new_from_compress
+
+        if len(entries) == before:
+            return TestOutcome(True, "stabilized", entries, relations, iteration)
+
+    return TestOutcome(False, "did not stabilize", entries, relations, max_iterations)
+
+
+def _pendant_options(
+    entries: Set[Entry], colors: Sequence[str], delta: int
+) -> List[List[List[Tuple[object, LabelSet]]]]:
+    """Pendant (input, label-set) combinations per path node.
+
+    For ``delta = 2`` paths have no pendants; for larger delta each node
+    independently takes up to ``delta - 2`` pendants from the reachable
+    entries of the opposite colour.  To keep enumeration bounded, nodes
+    take at most one pendant each here (sufficient to exercise pendant
+    effects; documented approximation of the full closure).
+    """
+    if delta <= 2:
+        return [[[] for _ in colors]]
+    options: List[List[List[Tuple[object, LabelSet]]]] = []
+    per_node_choices = []
+    for c in colors:
+        child = [e for e in entries if e[0] == _opp(c)]
+        per_node_choices.append([[]] + [[(e[1], e[2])] for e in child])
+    for combo in itertools.product(*per_node_choices):
+        options.append([list(p) for p in combo])
+    return options

@@ -1,0 +1,58 @@
+"""LCL problem formalism and the paper's problem families."""
+
+from .dfree import DFreeWeightProblem, count_copies
+from .hierarchical import (
+    B,
+    COLORS_2,
+    COLORS_3,
+    Coloring25,
+    Coloring35,
+    D,
+    E,
+    G,
+    HierarchicalColoring,
+    R,
+    W,
+    Y,
+)
+from .blackwhite import BlackWhiteLCL, two_color_tree
+from .labeling import (
+    HierarchicalLabeling,
+    SECONDARY_DECLINE,
+    WeightAugmented25,
+    compress_label,
+    is_compress,
+    is_rake,
+    label_order,
+    rake_label,
+)
+from .levels import compute_levels, level_paths, nodes_of_level
+from .problem import LCLProblem, LCLResult, Violation
+from .weighted import (
+    ACTIVE,
+    CONNECT,
+    COPY,
+    DECLINE,
+    WEIGHT,
+    Weighted25,
+    Weighted35,
+    WeightedColoring,
+    connect,
+    copy_of,
+    decline,
+)
+
+__all__ = [
+    "DFreeWeightProblem",
+    "count_copies",
+    "B", "COLORS_2", "COLORS_3", "Coloring25", "Coloring35",
+    "D", "E", "G", "HierarchicalColoring", "R", "W", "Y",
+    "BlackWhiteLCL", "two_color_tree",
+    "HierarchicalLabeling", "SECONDARY_DECLINE", "WeightAugmented25",
+    "compress_label", "is_compress", "is_rake", "label_order", "rake_label",
+    "compute_levels", "level_paths", "nodes_of_level",
+    "LCLProblem", "LCLResult", "Violation",
+    "ACTIVE", "CONNECT", "COPY", "DECLINE", "WEIGHT",
+    "Weighted25", "Weighted35", "WeightedColoring",
+    "connect", "copy_of", "decline",
+]

@@ -1,0 +1,94 @@
+"""LCLs in the black-white formalism (Definition 70).
+
+A problem is a tuple ``(Sigma_in, Sigma_out, C_W, C_B)`` on properly
+2-coloured trees: every *edge* gets an input and must get an output, and
+for each node the multiset of incident ``(input, output)`` pairs must
+belong to the constraint set of its colour.  Constraints are predicates
+over multisets (encoded as sorted tuples), which lets degree-generic
+constraints ("all incident outputs equal") be written without enumerating
+every degree.
+
+This is the formalism of the Section-11 gap machinery: label-sets,
+classes and the testing procedure (:mod:`repro.gap`) all operate on
+:class:`BlackWhiteLCL` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Sequence, Tuple
+
+from ..local.graph import Graph
+from .problem import LCLResult, Violation
+
+__all__ = ["BlackWhiteLCL", "two_color_tree", "Pair"]
+
+Pair = Tuple[object, object]  # (input label, output label)
+
+WHITE = "W"
+BLACK = "B"
+
+
+class BlackWhiteLCL:
+    """A black-white LCL with predicate-style constraints.
+
+    ``constraint_white`` / ``constraint_black`` take the sorted tuple of
+    incident ``(input, output)`` pairs of a node and return whether it is
+    allowed.  ``radius`` is 1 by construction.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sigma_in: Sequence,
+        sigma_out: Sequence,
+        constraint_white: Callable[[Tuple[Pair, ...]], bool],
+        constraint_black: Callable[[Tuple[Pair, ...]], bool],
+    ) -> None:
+        self.name = name
+        self.sigma_in: Tuple = tuple(sigma_in)
+        self.sigma_out: Tuple = tuple(sigma_out)
+        self._cw = constraint_white
+        self._cb = constraint_black
+
+    def allows(self, color: str, pairs: Sequence[Pair]) -> bool:
+        key = tuple(sorted(pairs, key=repr))
+        return self._cw(key) if color == WHITE else self._cb(key)
+
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        graph: Graph,
+        colors: Sequence[str],
+        edge_inputs,
+        edge_outputs,
+    ) -> LCLResult:
+        """Verify an edge labeling.  ``edge_inputs`` / ``edge_outputs``
+        map frozenset({u, v}) -> label."""
+        violations: List[Violation] = []
+        for u, v in graph.edges():
+            if colors[u] == colors[v]:
+                violations.append(Violation(u, "not properly 2-colored", f"edge ({u},{v})"))
+        if violations:
+            return LCLResult(violations)
+        for v in graph.nodes():
+            pairs = []
+            for w in graph.neighbors(v):
+                e = frozenset((v, w))
+                i = edge_inputs[e]
+                o = edge_outputs[e]
+                if i not in self.sigma_in:
+                    violations.append(Violation(v, "input alphabet", repr(i)))
+                if o not in self.sigma_out:
+                    violations.append(Violation(v, "output alphabet", repr(o)))
+                pairs.append((i, o))
+            if not self.allows(colors[v], pairs):
+                violations.append(
+                    Violation(v, f"{colors[v]}-constraint", repr(tuple(sorted(pairs, key=repr))))
+                )
+        return LCLResult(violations)
+
+
+def two_color_tree(graph: Graph, root: int = 0) -> List[str]:
+    """The proper 2-coloring of a tree by distance parity from a root."""
+    dist = graph.bfs_distances([root])
+    return [WHITE if (d or 0) % 2 == 0 else BLACK for d in dist]

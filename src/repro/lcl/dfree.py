@@ -1,0 +1,80 @@
+"""The d-free weight problem (Section 7).
+
+The subproblem the weight nodes of ``Pi^Z_{Delta,d,k}`` must solve.  Inputs
+``A`` (adjacent — the weight nodes touching an active node) and ``W``
+(weight); outputs ``Decline | Connect | Copy``.  Correctness:
+
+1. an ``A``-node outputting ``Connect`` has >= 1 neighbour outputting
+   ``Connect``; a ``W``-node outputting ``Connect`` has >= 2;
+2. a ``Copy`` node has at most ``d`` neighbours outputting ``Decline``;
+3. every ``A``-node outputs ``Connect`` or ``Copy``.
+
+Quality of a solution is measured by how *few* nodes output ``Copy`` —
+Lemma 23 lower-bounds this by ``w^x`` per attached tree with
+``x = log(Delta-1-d)/log(Delta-1)``, and Lemma 40 shows Algorithm A gets
+within a factor 6 of that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..local.graph import Graph
+from .problem import LCLProblem, Violation
+
+__all__ = ["A_INPUT", "W_INPUT", "DFreeWeightProblem", "count_copies"]
+
+A_INPUT = "A"
+W_INPUT = "W"
+DECLINE = "Decline"
+CONNECT = "Connect"
+COPY = "Copy"
+
+
+class DFreeWeightProblem(LCLProblem):
+    """The d-free weight problem; checkability radius 1."""
+
+    radius = 1
+
+    def __init__(self, delta: int, d: int) -> None:
+        if not (1 <= d < delta) or delta < 3:
+            raise ValueError("need 1 <= d < delta and delta >= 3")
+        self.delta = delta
+        self.d = d
+        self.sigma_in = frozenset({A_INPUT, W_INPUT})
+        self.sigma_out = frozenset({DECLINE, CONNECT, COPY})
+        self.name = f"{d}-free weight problem (delta={delta})"
+
+    def check_node(self, graph: Graph, outputs: Sequence, v: int) -> List[Violation]:
+        bad: List[Violation] = []
+        out = outputs[v]
+        inp = graph.input_of(v)
+        nbrs = graph.neighbors(v)
+
+        if inp not in (A_INPUT, W_INPUT):
+            bad.append(Violation(v, "input alphabet", repr(inp)))
+            return bad
+
+        if out == CONNECT:
+            connected = sum(1 for w in nbrs if outputs[w] == CONNECT)
+            need = 1 if inp == A_INPUT else 2
+            if connected < need:
+                bad.append(
+                    Violation(v, "P1: Connect support",
+                              f"input {inp}: {connected} < {need}")
+                )
+        if out == COPY:
+            declines = sum(1 for w in nbrs if outputs[w] == DECLINE)
+            if declines > self.d:
+                bad.append(
+                    Violation(v, "P2: Copy with too many Declines",
+                              f"{declines} > d={self.d}")
+                )
+        if inp == A_INPUT and out == DECLINE:
+            bad.append(Violation(v, "P3: A-node must output Connect or Copy"))
+        return bad
+
+
+def count_copies(outputs: Sequence) -> int:
+    """Number of nodes outputting ``Copy`` (the quality measure)."""
+    return sum(1 for o in outputs if o == COPY)

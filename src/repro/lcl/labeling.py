@@ -1,0 +1,303 @@
+"""k-hierarchical labeling (Definition 63) and weight-augmented
+2½-coloring (Definition 67) — the Section-10 machinery that reaches
+efficiency factor ``x = 1`` and hence node-averaged ``Theta(n^{1/k})``.
+
+**k-hierarchical labeling.**  Output per node: a label from
+``{R_1..R_k, C_1..C_{k-1}}`` plus at most one outgoing edge, encoded as
+``(label, out)`` with ``out`` a neighbour handle or ``None``.  The label
+order is ``R_1 < C_1 < R_2 < ... < C_{k-1} < R_k``.  Rules 1-6 of
+Definition 63 are checked verbatim.
+
+**Weight-augmented 2½-coloring.**  Active nodes solve k-hierarchical
+2½-coloring; weight nodes output ``(label, out, secondary)`` where the
+``(label, out)`` part solves k-hierarchical labeling on the weight-induced
+subgraph and ``secondary`` comes from the active alphabet plus
+``Decline``.  The paper's rules 3-5 are implemented in the reading that
+makes Lemma 68's proof go through (rules 4 and 5 as literally stated
+contradict each other on rake nodes below a declined compress node):
+
+* a weight node adjacent to an active node points to exactly one such
+  active neighbour and copies its output (rule 3);
+* otherwise a compress-labeled node has secondary ``Decline`` (rule 5);
+* otherwise a rake-labeled node pointing at a weight node copies that
+  node's secondary — including ``Decline`` (rule 4, as used in the
+  Lemma 68 case analysis);
+* a rake-labeled sink (no outgoing edge, no active neighbour) may output
+  any *non-Decline* active label (only compress nodes originate Decline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..local.graph import Graph
+from .hierarchical import Coloring25
+from .levels import compute_levels
+from .problem import LCLProblem, LCLResult, Violation
+from .weighted import ACTIVE, WEIGHT
+
+__all__ = [
+    "rake_label",
+    "compress_label",
+    "label_order",
+    "is_rake",
+    "is_compress",
+    "HierarchicalLabeling",
+    "WeightAugmented25",
+    "SECONDARY_DECLINE",
+]
+
+SECONDARY_DECLINE = "Decline"
+
+
+def rake_label(i: int) -> str:
+    return f"R{i}"
+
+
+def compress_label(i: int) -> str:
+    return f"C{i}"
+
+
+def is_rake(label: str) -> bool:
+    return isinstance(label, str) and label.startswith("R")
+
+
+def is_compress(label: str) -> bool:
+    return isinstance(label, str) and label.startswith("C")
+
+
+def label_order(label: str) -> int:
+    """Position in ``R1 < C1 < R2 < C2 < ... < Rk``."""
+    i = int(label[1:])
+    return 2 * (i - 1) if is_rake(label) else 2 * (i - 1) + 1
+
+
+class HierarchicalLabeling(LCLProblem):
+    """The k-hierarchical labeling LCL (Definition 63).
+
+    Outputs are ``(label, out)`` tuples; ``out`` is a neighbour handle or
+    ``None``.  Worst-case complexity ``O(n^{1/k})`` (Lemma 65).
+    """
+
+    radius = 1
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.sigma_out = frozenset(
+            [rake_label(i) for i in range(1, k + 1)]
+            + [compress_label(i) for i in range(1, k)]
+        )
+        self.name = f"{k}-hierarchical labeling"
+
+    def output_in_alphabet(self, out) -> bool:
+        return (
+            isinstance(out, tuple)
+            and len(out) == 2
+            and out[0] in self.sigma_out
+            and (out[1] is None or isinstance(out[1], int))
+        )
+
+    def check_node(self, graph: Graph, outputs: Sequence, v: int) -> List[Violation]:
+        return check_labeling_rules(
+            graph, outputs, v,
+            members=None, get_label=lambda o: o[0], get_out=lambda o: o[1],
+        )
+
+
+def check_labeling_rules(
+    graph: Graph,
+    outputs: Sequence,
+    v: int,
+    members: Optional[set],
+    get_label,
+    get_out,
+) -> List[Violation]:
+    """Definition 63 rules 1-6 at node ``v``; ``members`` restricts the
+    instance to an induced subgraph (None = whole graph)."""
+
+    def inside(u: int) -> bool:
+        return members is None or u in members
+
+    bad: List[Violation] = []
+    lab = get_label(outputs[v])
+    out = get_out(outputs[v])
+    nbrs = [w for w in graph.neighbors(v) if inside(w)]
+
+    if out is not None and (out not in nbrs):
+        bad.append(Violation(v, "orientation target is not a neighbour",
+                             f"out={out}"))
+        return bad
+
+    def points_to(u: int, w: int) -> bool:
+        return get_out(outputs[u]) == w
+
+    # Rule 1: all edges of rake-labeled nodes are oriented (in >= one dir)
+    if is_rake(lab):
+        for w in nbrs:
+            if not points_to(v, w) and not points_to(w, v):
+                bad.append(Violation(v, "rule1: unoriented edge at rake node",
+                                     f"edge ({v},{w})"))
+
+    # doubly-oriented edges are contradictory
+    for w in nbrs:
+        if points_to(v, w) and points_to(w, v):
+            bad.append(Violation(v, "doubly oriented edge", f"({v},{w})"))
+
+    same_compress = [
+        w for w in nbrs if get_label(outputs[w]) == lab
+    ] if is_compress(lab) else []
+
+    # Rule 2: compress nodes with two compress neighbours have no out-edge
+    if is_compress(lab) and len(same_compress) >= 2 and out is not None:
+        bad.append(Violation(v, "rule2: interior compress node has out-edge"))
+
+    # Rule 3: orientation respects the label order
+    if out is not None:
+        if label_order(get_label(outputs[out])) < label_order(lab):
+            bad.append(Violation(v, "rule3: orientation decreases label",
+                                 f"{lab} -> {get_label(outputs[out])}"))
+
+    # Rule 4: each compress label induces disjoint paths
+    if is_compress(lab) and len(same_compress) > 2:
+        bad.append(Violation(v, "rule4: compress label not a path",
+                             f"{len(same_compress)} same-label neighbours"))
+
+    # Rule 5: different compress labels are never adjacent
+    if is_compress(lab):
+        for w in nbrs:
+            wl = get_label(outputs[w])
+            if is_compress(wl) and wl != lab:
+                bad.append(Violation(v, "rule5: adjacent distinct compress labels",
+                                     f"{lab} vs {wl}"))
+
+    # Rule 6: a rake node has at most one compress neighbour pointing at
+    # it; if one exists, all pointers carry strictly lower labels
+    if is_rake(lab):
+        pointing = [w for w in nbrs if points_to(w, v)]
+        compress_pointing = [
+            w for w in pointing if is_compress(get_label(outputs[w]))
+        ]
+        if len(compress_pointing) > 1:
+            bad.append(Violation(v, "rule6: two compress pointers"))
+        if compress_pointing:
+            for w in pointing:
+                if label_order(get_label(outputs[w])) >= label_order(lab):
+                    bad.append(Violation(
+                        v, "rule6: pointer label not strictly lower",
+                        f"{get_label(outputs[w])} -> {lab}",
+                    ))
+    return bad
+
+
+class WeightAugmented25(LCLProblem):
+    """k-hierarchical weight-augmented 2½-coloring (Definition 67).
+
+    Active outputs: plain 2½-coloring labels.  Weight outputs:
+    ``(label, out, secondary)`` — ``out`` may point at an active
+    neighbour (rule 3) or a weight neighbour (the labeling orientation).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.base = Coloring25(k)
+        self.labeling = HierarchicalLabeling(k)
+        self.radius = self.base.radius + 1
+        self.sigma_in = frozenset({ACTIVE, WEIGHT})
+        self.name = f"{k}-hierarchical weight-augmented 2.5-coloring"
+
+    def verify(self, graph: Graph, outputs: Sequence) -> LCLResult:
+        if len(outputs) != graph.n:
+            raise ValueError("outputs length must equal graph.n")
+        violations: List[Violation] = []
+        active = set()
+        weight = set()
+        for v in graph.nodes():
+            if graph.input_of(v) == ACTIVE:
+                active.add(v)
+            elif graph.input_of(v) == WEIGHT:
+                weight.add(v)
+            else:
+                violations.append(Violation(v, "input alphabet"))
+        if violations:
+            return LCLResult(violations)
+
+        # alphabet shapes
+        for v in graph.nodes():
+            o = outputs[v]
+            if v in active:
+                if o not in self.base.sigma_out:
+                    violations.append(Violation(v, "active output alphabet", repr(o)))
+            else:
+                ok = (
+                    isinstance(o, tuple)
+                    and len(o) == 3
+                    and o[0] in self.labeling.sigma_out
+                    and (o[1] is None or isinstance(o[1], int))
+                    and (o[2] in self.base.sigma_out or o[2] == SECONDARY_DECLINE)
+                )
+                if not ok:
+                    violations.append(Violation(v, "weight output alphabet", repr(o)))
+        if violations:
+            return LCLResult(violations)
+
+        # Item 1: active side solves 2.5-coloring
+        levels = compute_levels(graph, self.k, restrict=active)
+        for v in active:
+            violations.extend(
+                self.base.check_node_with_levels(graph, levels, outputs, v)
+            )
+
+        # Item 2: weight side solves the labeling on the weight subgraph
+        # (orientations toward active nodes are rule-3 edges, not labeling
+        # edges)
+        def w_out(o):
+            return o[1] if (o[1] is not None and o[1] in weight) else None
+
+        for v in weight:
+            violations.extend(
+                check_labeling_rules(
+                    graph, outputs, v, members=weight,
+                    get_label=lambda o: o[0],
+                    get_out=w_out,
+                )
+            )
+
+        # Items 3-5: secondary outputs
+        for v in weight:
+            lab, out, sec = outputs[v]
+            active_nbrs = [w for w in graph.neighbors(v) if w in active]
+            if active_nbrs:
+                if out not in active_nbrs:
+                    violations.append(Violation(
+                        v, "rule3: must point at an active neighbour",
+                        f"out={out}",
+                    ))
+                elif sec != outputs[out]:
+                    violations.append(Violation(
+                        v, "rule3: secondary differs from active output",
+                        f"{sec!r} vs {outputs[out]!r}",
+                    ))
+                continue
+            if is_compress(lab):
+                if sec != SECONDARY_DECLINE:
+                    violations.append(Violation(
+                        v, "rule5: compress node away from active must Decline",
+                        repr(sec),
+                    ))
+                continue
+            # rake, no active neighbour
+            if out is not None and out in weight:
+                if sec != outputs[out][2]:
+                    violations.append(Violation(
+                        v, "rule4: secondary differs from pointed-to node",
+                        f"{sec!r} vs {outputs[out][2]!r}",
+                    ))
+            elif sec == SECONDARY_DECLINE:
+                violations.append(Violation(
+                    v, "rule5: rake sink cannot originate Decline",
+                ))
+        return LCLResult(violations)

@@ -1,0 +1,113 @@
+"""Level computation for the k-hierarchical problems (Definition 8).
+
+Levels are assigned by iterated peeling of low-degree nodes:
+
+1. ``i = 1``.
+2. ``V_i`` = nodes of degree at most 2 in the remaining forest; they get
+   level ``i`` and are removed.
+3. ``i += 1``; while ``i <= k`` continue from step 2.
+4. Every remaining node gets level ``k + 1``.
+
+A node can determine its own level in ``O(k)`` LOCAL rounds (the peeling is
+a local process), which is why the k-hierarchical problems are LCLs with
+checkability radius ``O(k)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..local.graph import Graph
+
+__all__ = ["compute_levels", "level_paths", "nodes_of_level"]
+
+
+def compute_levels(graph: Graph, k: int, restrict: Optional[Iterable[int]] = None) -> List[int]:
+    """Per-node levels in ``1..k+1``; nodes outside ``restrict`` get 0.
+
+    ``restrict`` limits the peeling to an induced subgraph (used by the
+    weighted problems, whose active components are leveled independently of
+    the weight nodes).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if restrict is None:
+        active = [True] * graph.n
+    else:
+        active = [False] * graph.n
+        for v in restrict:
+            active[v] = True
+
+    level = [0] * graph.n
+    alive = [active[v] for v in graph.nodes()]
+    deg = [
+        sum(1 for w in graph.neighbors(v) if active[w]) if active[v] else 0
+        for v in graph.nodes()
+    ]
+
+    remaining = [v for v in graph.nodes() if active[v]]
+    for i in range(1, k + 1):
+        peel = [v for v in remaining if deg[v] <= 2]
+        for v in peel:
+            level[v] = i
+            alive[v] = False
+        for v in peel:
+            for w in graph.neighbors(v):
+                if alive[w]:
+                    deg[w] -= 1
+        remaining = [v for v in remaining if alive[v]]
+    for v in remaining:
+        level[v] = k + 1
+    return level
+
+
+def nodes_of_level(levels: List[int], i: int) -> List[int]:
+    return [v for v, lv in enumerate(levels) if lv == i]
+
+
+def level_paths(graph: Graph, levels: List[int], i: int) -> List[List[int]]:
+    """Connected components induced by the level-``i`` nodes, each returned
+    in path order when it is a path (which peeling guarantees for i <= k:
+    peeled nodes had degree <= 2 among same-or-higher levels).
+
+    Components that are single nodes come back as one-element lists.
+    """
+    members = set(nodes_of_level(levels, i))
+    seen = set()
+    comps: List[List[int]] = []
+    for start in sorted(members):
+        if start in seen:
+            continue
+        comp = _trace_component(graph, members, start)
+        seen.update(comp)
+        comps.append(comp)
+    return comps
+
+
+def _trace_component(graph: Graph, members: set, start: int) -> List[int]:
+    """Collect the component of ``start`` inside ``members``; return it in
+    path order if it is a path, otherwise in BFS order."""
+    same = lambda v: [w for w in graph.neighbors(v) if w in members]  # noqa: E731
+    comp = {start}
+    frontier = [start]
+    while frontier:
+        v = frontier.pop()
+        for w in same(v):
+            if w not in comp:
+                comp.add(w)
+                frontier.append(w)
+    degs = {v: sum(1 for w in same(v) if w in comp) for v in comp}
+    if any(d > 2 for d in degs.values()):
+        return sorted(comp)
+    endpoints = [v for v in comp if degs[v] <= 1]
+    if not endpoints:  # cycle: impossible in a tree, defensive
+        return sorted(comp)
+    order = [min(endpoints)]
+    prev = None
+    while True:
+        nxt = [w for w in same(order[-1]) if w in comp and w != prev]
+        if not nxt:
+            break
+        prev = order[-1]
+        order.append(nxt[0])
+    return order

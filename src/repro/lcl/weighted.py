@@ -1,0 +1,217 @@
+"""The weighted problems ``Pi^Z_{Delta,d,k}`` (Definition 22).
+
+Inputs: every node is labeled ``Active`` or ``Weight``.  Active nodes solve
+k-hierarchical Z-coloring (Z in {2.5, 3.5}) on the components induced by
+active nodes.  Weight nodes output one of ``Decline | Connect | Copy``; a
+``Copy`` node additionally carries a *secondary* output from the active
+alphabet.  Correctness (checkability radius ``O(k)``):
+
+1. active components satisfy k-hierarchical Z-coloring;
+2. a weight node adjacent to an active node outputs ``Connect`` or ``Copy``;
+3. a ``Connect`` weight node has >= 2 neighbours that are active or also
+   output ``Connect``;
+4. a ``Copy`` node has at most ``d`` neighbours that output ``Decline``;
+5. a ``Copy`` weight node with an active neighbour copies the output of at
+   least one active neighbour as its secondary output; two adjacent ``Copy``
+   weight nodes have identical secondary outputs.
+
+Weight-node outputs are encoded as tuples ``("Decline",)``, ``("Connect",)``
+or ``("Copy", secondary)``; active outputs are plain labels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..local.graph import Graph
+from .hierarchical import Coloring25, Coloring35, HierarchicalColoring
+from .levels import compute_levels
+from .problem import LCLProblem, LCLResult, Violation
+
+__all__ = [
+    "ACTIVE", "WEIGHT", "DECLINE", "CONNECT", "COPY",
+    "decline", "connect", "copy_of",
+    "WeightedColoring", "Weighted25", "Weighted35",
+]
+
+ACTIVE = "Active"
+WEIGHT = "Weight"
+DECLINE = "Decline"
+CONNECT = "Connect"
+COPY = "Copy"
+
+
+def decline() -> Tuple[str]:
+    return (DECLINE,)
+
+
+def connect() -> Tuple[str]:
+    return (CONNECT,)
+
+
+def copy_of(secondary) -> Tuple[str, object]:
+    return (COPY, secondary)
+
+
+def primary(label) -> str:
+    """Primary part of a weight-node output tuple."""
+    return label[0]
+
+
+def secondary(label):
+    """Secondary output of a ``Copy`` tuple, else None."""
+    return label[1] if label[0] == COPY else None
+
+
+class WeightedColoring(LCLProblem):
+    """``Pi^Z_{Delta,d,k}``: weighted k-hierarchical Z-coloring."""
+
+    def __init__(self, delta: int, d: int, k: int, variant: str = "2.5") -> None:
+        if delta < d + 3:
+            raise ValueError("Definition 22 requires delta >= d + 3")
+        if d < 1 or k < 1:
+            raise ValueError("d and k must be >= 1")
+        self.delta = delta
+        self.d = d
+        self.k = k
+        self.variant = variant
+        self.base: HierarchicalColoring = (
+            Coloring25(k) if variant == "2.5" else Coloring35(k)
+        )
+        self.radius = self.base.radius + 1
+        self.sigma_in = frozenset({ACTIVE, WEIGHT})
+        self.name = f"Pi^{variant}_{{D={delta},d={d},k={k}}}"
+
+    # -- alphabets -------------------------------------------------
+    def output_in_alphabet(self, label) -> bool:
+        if isinstance(label, tuple):
+            if label[0] in (DECLINE, CONNECT):
+                return len(label) == 1
+            if label[0] == COPY:
+                return len(label) == 2 and label[1] in self.base.sigma_out
+            return False
+        return label in self.base.sigma_out
+
+    # -- verification ------------------------------------------------
+    def active_levels(self, graph: Graph) -> List[int]:
+        """Levels computed inside the active-induced subgraph (0 = weight)."""
+        active = [v for v in graph.nodes() if graph.input_of(v) == ACTIVE]
+        return compute_levels(graph, self.k, restrict=active)
+
+    def verify(self, graph: Graph, outputs: Sequence) -> LCLResult:
+        if len(outputs) != graph.n:
+            raise ValueError("outputs length must equal graph.n")
+        violations: List[Violation] = []
+        for v in graph.nodes():
+            if graph.input_of(v) not in (ACTIVE, WEIGHT):
+                violations.append(
+                    Violation(v, "input alphabet", repr(graph.input_of(v)))
+                )
+        if violations:
+            return LCLResult(violations)
+
+        is_active = [graph.input_of(v) == ACTIVE for v in graph.nodes()]
+        for v in graph.nodes():
+            label = outputs[v]
+            if is_active[v]:
+                if isinstance(label, tuple) or label not in self.base.sigma_out:
+                    violations.append(
+                        Violation(v, "active output alphabet", repr(label))
+                    )
+            else:
+                if not isinstance(label, tuple) or not self.output_in_alphabet(label):
+                    violations.append(
+                        Violation(v, "weight output alphabet", repr(label))
+                    )
+        if violations:
+            return LCLResult(violations)
+
+        levels = self.active_levels(graph)
+        for v in graph.nodes():
+            if is_active[v]:
+                violations.extend(
+                    self.base.check_node_with_levels(graph, levels, outputs, v)
+                )
+            else:
+                violations.extend(self._check_weight_node(graph, outputs, v))
+        return LCLResult(violations)
+
+    def check_node(self, graph: Graph, outputs: Sequence, v: int) -> List[Violation]:
+        if graph.input_of(v) == ACTIVE:
+            levels = self.active_levels(graph)
+            return self.base.check_node_with_levels(graph, levels, outputs, v)
+        return self._check_weight_node(graph, outputs, v)
+
+    # -- weight-node rules (Properties 2-5) ----------------------------
+    def _check_weight_node(self, graph: Graph, outputs: Sequence, v: int) -> List[Violation]:
+        bad: List[Violation] = []
+        label = outputs[v]
+        kind = primary(label)
+        nbrs = graph.neighbors(v)
+        active_nbrs = [w for w in nbrs if graph.input_of(w) == ACTIVE]
+
+        # Property 2
+        if active_nbrs and kind == DECLINE:
+            bad.append(Violation(v, "P2: weight node next to active declines"))
+
+        # Property 3
+        if kind == CONNECT:
+            supporters = sum(
+                1
+                for w in nbrs
+                if graph.input_of(w) == ACTIVE
+                or (isinstance(outputs[w], tuple) and primary(outputs[w]) == CONNECT)
+            )
+            if supporters < 2:
+                bad.append(
+                    Violation(v, "P3: Connect needs >= 2 active/Connect neighbors",
+                              f"have {supporters}")
+                )
+
+        # Property 4
+        if kind == COPY:
+            declines = sum(
+                1
+                for w in nbrs
+                if isinstance(outputs[w], tuple) and primary(outputs[w]) == DECLINE
+            )
+            if declines > self.d:
+                bad.append(
+                    Violation(v, "P4: Copy with too many Decline neighbors",
+                              f"{declines} > d={self.d}")
+                )
+
+        # Property 5
+        if kind == COPY:
+            sec = secondary(label)
+            if active_nbrs and not any(outputs[w] == sec for w in active_nbrs):
+                bad.append(
+                    Violation(v, "P5: secondary output matches no active neighbor",
+                              f"secondary={sec!r}")
+                )
+            for w in nbrs:
+                if (
+                    graph.input_of(w) == WEIGHT
+                    and isinstance(outputs[w], tuple)
+                    and primary(outputs[w]) == COPY
+                    and secondary(outputs[w]) != sec
+                ):
+                    bad.append(
+                        Violation(v, "P5: adjacent Copy nodes disagree",
+                                  f"{sec!r} vs {secondary(outputs[w])!r}")
+                    )
+        return bad
+
+
+class Weighted25(WeightedColoring):
+    """``Pi^{2.5}_{Delta,d,k}`` — the polynomial-regime weighted family."""
+
+    def __init__(self, delta: int, d: int, k: int) -> None:
+        super().__init__(delta, d, k, "2.5")
+
+
+class Weighted35(WeightedColoring):
+    """``Pi^{3.5}_{Delta,d,k}`` — the ``log*`` regime weighted family."""
+
+    def __init__(self, delta: int, d: int, k: int) -> None:
+        super().__init__(delta, d, k, "3.5")

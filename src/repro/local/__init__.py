@@ -1,0 +1,38 @@
+"""LOCAL model substrate: graphs, identifiers, views, simulator, metrics."""
+
+from .algorithm import CONTINUE, LocalAlgorithm, View
+from .graph import (
+    Graph,
+    balanced_tree,
+    from_networkx,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+from .ids import id_space_size, random_ids, sequential_ids
+from .message import MessageAlgorithm, MessageSimulator, NodeInfo
+from .metrics import ExecutionTrace, node_averaged, worst_case
+from .simulator import LocalSimulator, SimulationError
+
+__all__ = [
+    "CONTINUE",
+    "LocalAlgorithm",
+    "View",
+    "Graph",
+    "balanced_tree",
+    "from_networkx",
+    "path_graph",
+    "star_graph",
+    "to_networkx",
+    "id_space_size",
+    "random_ids",
+    "sequential_ids",
+    "MessageAlgorithm",
+    "MessageSimulator",
+    "NodeInfo",
+    "ExecutionTrace",
+    "node_averaged",
+    "worst_case",
+    "LocalSimulator",
+    "SimulationError",
+]

@@ -1,0 +1,159 @@
+"""Algorithm API for the LOCAL model: ball views and the algorithm protocol.
+
+A LOCAL algorithm, in the equivalent *full-information* formulation, is a
+function from the radius-``t`` view of a node to a decision: after ``t``
+synchronous rounds a node knows exactly the topology, identifiers, inputs and
+(causally visible) committed outputs within distance ``t`` of itself, and
+either commits an output label or continues.  The number of rounds a node
+needs before committing is its individual complexity ``T_v``; the paper's
+node-averaged complexity is the average of these (see
+:mod:`repro.local.metrics`).
+
+Causality of outputs: if node ``u`` commits at round ``s``, a node at
+distance ``delta`` learns this at round ``s + delta`` — views expose exactly
+that and nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from .graph import Graph
+
+__all__ = ["CONTINUE", "View", "LocalAlgorithm"]
+
+
+class _Continue:
+    """Sentinel decision: the node has not committed yet."""
+
+    _instance: Optional["_Continue"] = None
+
+    def __new__(cls) -> "_Continue":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CONTINUE"
+
+
+CONTINUE = _Continue()
+
+
+class View:
+    """The radius-``t`` knowledge of a node in the LOCAL model.
+
+    Node handles inside a view are the global graph handles for convenience
+    of simulation; algorithms must only *use* the exposed information (IDs,
+    inputs, topology, visible outputs) — this is the standard simulation
+    shortcut and does not change round counts.
+    """
+
+    __slots__ = ("graph", "center", "round", "_dist", "_ids", "_inputs",
+                 "_commit_round", "_outputs")
+
+    def __init__(
+        self,
+        graph: Graph,
+        center: int,
+        t: int,
+        ids: List[int],
+        commit_round: List[Optional[int]],
+        outputs: List,
+    ) -> None:
+        self.graph = graph
+        self.center = center
+        self.round = t
+        self._dist = graph.ball(center, t)
+        self._ids = ids
+        self._commit_round = commit_round
+        self._outputs = outputs
+
+    # -- topology ------------------------------------------------------
+    def nodes(self) -> Dict[int, int]:
+        """``{node: distance}`` of all nodes in the ball."""
+        return self._dist
+
+    def contains(self, u: int) -> bool:
+        return u in self._dist
+
+    def distance(self, u: int) -> int:
+        return self._dist[u]
+
+    def neighbors(self, u: int) -> Tuple[int, ...]:
+        """Neighbours of ``u`` as known in the view.
+
+        Fully known for nodes at distance ``< t``; for frontier nodes (at
+        distance exactly ``t``) only the neighbours inside the ball are
+        visible.
+        """
+        if self._dist[u] < self.round:
+            return self.graph.neighbors(u)
+        return tuple(w for w in self.graph.neighbors(u) if w in self._dist)
+
+    def degree_known(self, u: int) -> bool:
+        """Whether the full degree of ``u`` is visible."""
+        return self._dist[u] < self.round
+
+    def sees_whole_component(self) -> bool:
+        """True iff the view provably contains the whole component."""
+        for u, d in self._dist.items():
+            if d >= self.round:
+                return False
+            for w in self.graph.neighbors(u):
+                if w not in self._dist:
+                    return False
+        return True
+
+    # -- labels --------------------------------------------------------
+    def id_of(self, u: int) -> int:
+        return self._ids[u]
+
+    def input_of(self, u: int):
+        return self.graph.input_of(u)
+
+    def output_of(self, u: int):
+        """The committed output of ``u`` if causally visible, else None.
+
+        A commit at round ``s`` by a node at distance ``delta`` is visible
+        at rounds ``>= s + delta``.
+        """
+        s = self._commit_round[u]
+        if s is None:
+            return None
+        if s + self._dist[u] <= self.round:
+            return self._outputs[u]
+        return None
+
+    def has_output(self, u: int) -> bool:
+        return self.output_of(u) is not None
+
+
+class LocalAlgorithm:
+    """Base class for LOCAL algorithms in the full-information formulation.
+
+    Subclasses implement :meth:`decide`; the simulator calls it once per
+    round per still-running node.  ``n`` (the network size) is provided, as
+    is standard in the LOCAL model.
+    """
+
+    #: Human-readable algorithm name for traces and reports.
+    name: str = "local-algorithm"
+
+    def setup(self, graph: Graph, n: int) -> None:
+        """Called once before the execution starts (global parameters only).
+
+        May precompute values every node could compute from ``n`` alone
+        (e.g. phase lengths ``gamma_i``); must not inspect the topology.
+        """
+
+    def decide(self, view: View, n: int):
+        """Return an output label to commit, or :data:`CONTINUE`.
+
+        Must be a deterministic function of the view (plus ``n``).
+        """
+        raise NotImplementedError
+
+    def max_rounds_hint(self, n: int) -> int:
+        """Upper bound on rounds; the simulator errors beyond this."""
+        return 4 * n + 64

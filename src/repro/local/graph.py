@@ -1,0 +1,283 @@
+"""Tree and graph substrate for the LOCAL model.
+
+The paper works on bounded-degree trees (and paths as a special case).  This
+module provides an immutable adjacency-list graph with:
+
+* integer node handles ``0..n-1`` (distinct from the *identifiers* used by
+  LOCAL algorithms, see :mod:`repro.local.ids`),
+* per-node input labels (the LCL input alphabet),
+* radius-``r`` ball extraction (the basic LOCAL primitive),
+* constructors for paths, stars, balanced trees and conversions from
+  :mod:`networkx`.
+
+Everything downstream (the simulator, problem checkers, constructions) is
+built on :class:`Graph`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Graph",
+    "path_graph",
+    "star_graph",
+    "balanced_tree",
+    "from_networkx",
+    "to_networkx",
+]
+
+
+class Graph:
+    """An undirected simple graph with adjacency lists and node inputs.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; node handles are ``0..n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops and duplicates are rejected.
+    inputs:
+        Optional per-node input labels (any hashable), defaults to ``None``
+        for every node.
+    """
+
+    __slots__ = ("_n", "_adj", "_inputs", "_m")
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Tuple[int, int]],
+        inputs: Optional[Sequence] = None,
+    ) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        adj: List[List[int]] = [[] for _ in range(n)]
+        seen = set()
+        m = 0
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u},{v}) out of range for n={n}")
+            if u == v:
+                raise ValueError(f"self-loop at {u}")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                raise ValueError(f"duplicate edge {key}")
+            seen.add(key)
+            adj[u].append(v)
+            adj[v].append(u)
+            m += 1
+        self._n = n
+        self._adj = adj
+        self._m = m
+        if inputs is None:
+            self._inputs = [None] * n
+        else:
+            if len(inputs) != n:
+                raise ValueError("inputs length must equal n")
+            self._inputs = list(inputs)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def nodes(self) -> range:
+        return range(self._n)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        return tuple(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        return max((len(a) for a in self._adj), default=0)
+
+    def input_of(self, v: int):
+        return self._inputs[v]
+
+    def inputs(self) -> List:
+        return list(self._inputs)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        for u in range(self._n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def with_inputs(self, inputs: Sequence) -> "Graph":
+        """Return a copy of this graph with different input labels."""
+        return Graph(self._n, list(self.edges()), inputs)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def is_tree(self) -> bool:
+        """True iff the graph is connected and acyclic (n>=1)."""
+        if self._n == 0:
+            return False
+        if self._m != self._n - 1:
+            return False
+        return self.is_connected()
+
+    def is_forest(self) -> bool:
+        comps = self.connected_components()
+        return self._m == self._n - len(comps)
+
+    def is_connected(self) -> bool:
+        if self._n == 0:
+            return False
+        seen = self._bfs_reach(0)
+        return len(seen) == self._n
+
+    def _bfs_reach(self, start: int) -> set:
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for w in self._adj[u]:
+                if w not in seen:
+                    seen.add(w)
+                    queue.append(w)
+        return seen
+
+    def connected_components(self) -> List[List[int]]:
+        seen = [False] * self._n
+        comps: List[List[int]] = []
+        for s in range(self._n):
+            if seen[s]:
+                continue
+            comp = [s]
+            seen[s] = True
+            queue = deque([s])
+            while queue:
+                u = queue.popleft()
+                for w in self._adj[u]:
+                    if not seen[w]:
+                        seen[w] = True
+                        comp.append(w)
+                        queue.append(w)
+            comps.append(comp)
+        return comps
+
+    # ------------------------------------------------------------------
+    # balls and distances
+    # ------------------------------------------------------------------
+    def ball(self, v: int, radius: int) -> Dict[int, int]:
+        """Return ``{node: distance}`` for all nodes within ``radius`` of v."""
+        dist = {v: 0}
+        queue = deque([v])
+        while queue:
+            u = queue.popleft()
+            du = dist[u]
+            if du == radius:
+                continue
+            for w in self._adj[u]:
+                if w not in dist:
+                    dist[w] = du + 1
+                    queue.append(w)
+        return dist
+
+    def bfs_distances(self, sources: Iterable[int]) -> List[Optional[int]]:
+        """Multi-source BFS distance from ``sources`` to every node."""
+        dist: List[Optional[int]] = [None] * self._n
+        queue = deque()
+        for s in sources:
+            if dist[s] is None:
+                dist[s] = 0
+                queue.append(s)
+        while queue:
+            u = queue.popleft()
+            for w in self._adj[u]:
+                if dist[w] is None:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return dist
+
+    def eccentricity(self, v: int) -> int:
+        dist = self.bfs_distances([v])
+        return max(d for d in dist if d is not None)
+
+    def induced_subgraph(self, nodes: Iterable[int]) -> Tuple["Graph", Dict[int, int]]:
+        """Induced subgraph; returns (subgraph, old->new node map)."""
+        nodes = sorted(set(nodes))
+        remap = {old: new for new, old in enumerate(nodes)}
+        edges = [
+            (remap[u], remap[v])
+            for u in nodes
+            for v in self._adj[u]
+            if u < v and v in remap
+        ]
+        inputs = [self._inputs[old] for old in nodes]
+        return Graph(len(nodes), edges, inputs), remap
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._m})"
+
+
+# ----------------------------------------------------------------------
+# constructors
+# ----------------------------------------------------------------------
+def path_graph(n: int, inputs: Optional[Sequence] = None) -> Graph:
+    """A path on ``n`` nodes: 0 - 1 - ... - (n-1)."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)], inputs)
+
+
+def star_graph(leaves: int) -> Graph:
+    """A star: node 0 is the centre, nodes 1..leaves are leaves."""
+    return Graph(leaves + 1, [(0, i) for i in range(1, leaves + 1)])
+
+
+def balanced_tree(fanout: int, height: int) -> Graph:
+    """A rooted balanced tree with the given fan-out and height (root = 0).
+
+    Every internal node has exactly ``fanout`` children; leaves are at depth
+    ``height``.  The *degree* of internal non-root nodes is ``fanout + 1``.
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    edges = []
+    frontier = [0]
+    next_handle = 1
+    for _ in range(height):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(fanout):
+                edges.append((parent, next_handle))
+                new_frontier.append(next_handle)
+                next_handle += 1
+        frontier = new_frontier
+    return Graph(next_handle, edges)
+
+
+def from_networkx(nx_graph) -> Graph:
+    """Convert a networkx graph (any hashable node names) to :class:`Graph`.
+
+    Node input labels are taken from the ``"input"`` node attribute if set.
+    """
+    nodes = list(nx_graph.nodes())
+    remap = {name: i for i, name in enumerate(nodes)}
+    edges = [(remap[u], remap[v]) for u, v in nx_graph.edges()]
+    inputs = [nx_graph.nodes[name].get("input") for name in nodes]
+    return Graph(len(nodes), edges, inputs)
+
+
+def to_networkx(graph: Graph):
+    """Convert to a networkx graph, storing inputs as node attributes."""
+    import networkx as nx
+
+    g = nx.Graph()
+    for v in graph.nodes():
+        g.add_node(v, input=graph.input_of(v))
+    g.add_edges_from(graph.edges())
+    return g

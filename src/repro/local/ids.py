@@ -1,0 +1,68 @@
+"""Identifier assignments for LOCAL algorithms.
+
+In the LOCAL model, nodes carry unique identifiers from a polynomial ID space
+``{1, ..., n^c}``.  Deterministic algorithms may depend on these IDs (this is
+exactly what the paper's lower-bound arguments manipulate), so the choice of
+assignment is part of the experiment design:
+
+* :func:`sequential_ids` — IDs ``1..n`` in node-handle order (best case for
+  symmetry breaking, useful as a sanity baseline);
+* :func:`random_ids` — uniformly random injection into ``{1..n^c}`` (the
+  standard adversarial-free setting for measuring upper bounds);
+* :func:`id_space_size` — the canonical ID space size ``n^c``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+__all__ = ["sequential_ids", "random_ids", "id_space_size", "IdAssignment"]
+
+IdAssignment = List[int]
+
+
+def id_space_size(n: int, c: int = 3) -> int:
+    """The canonical polynomial ID space size ``n^c`` (``c >= 1``)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if c < 1:
+        raise ValueError("c must be >= 1")
+    return n**c
+
+
+def sequential_ids(n: int) -> IdAssignment:
+    """IDs ``1..n`` in node-handle order."""
+    return list(range(1, n + 1))
+
+
+def random_ids(
+    n: int,
+    c: int = 3,
+    rng: Optional[random.Random] = None,
+) -> IdAssignment:
+    """A uniformly random injective ID assignment from ``{1..n^c}``.
+
+    Uses rejection-free sampling without materialising the ID space.
+    """
+    rng = rng or random.Random()
+    space = id_space_size(n, c)
+    chosen: set = set()
+    ids: List[int] = []
+    while len(ids) < n:
+        x = rng.randint(1, space)
+        if x not in chosen:
+            chosen.add(x)
+            ids.append(x)
+    return ids
+
+
+def validate_ids(ids: IdAssignment, space: Optional[int] = None) -> None:
+    """Raise ``ValueError`` unless ``ids`` are positive, unique, in range."""
+    if len(set(ids)) != len(ids):
+        raise ValueError("IDs must be unique")
+    for x in ids:
+        if x < 1:
+            raise ValueError("IDs must be >= 1")
+        if space is not None and x > space:
+            raise ValueError(f"ID {x} exceeds ID space {space}")

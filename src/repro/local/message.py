@@ -1,0 +1,145 @@
+"""Message-passing formulation of the LOCAL model.
+
+Complements the full-information view simulator: algorithms are synchronous
+state machines that broadcast one (unbounded) message per round.  Round
+semantics match :mod:`repro.local.simulator` exactly:
+
+* at round ``t`` a node has processed ``t`` message exchanges and may commit
+  (``T_v = t``); a round-0 commit uses only the node's own initial state;
+* committed nodes *keep relaying* (their state machine continues to run,
+  its committed output frozen) — in LOCAL, information flows through
+  terminated nodes, and several of the paper's algorithms rely on that.
+
+Both executors return :class:`repro.local.metrics.ExecutionTrace`, so
+metrics and benchmarks are agnostic to the formulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .algorithm import CONTINUE
+from .graph import Graph
+from .ids import sequential_ids, validate_ids
+from .metrics import ExecutionTrace
+from .simulator import SimulationError
+
+__all__ = ["MessageAlgorithm", "MessageSimulator", "NodeInfo"]
+
+
+class NodeInfo:
+    """Static per-node information available at initialization."""
+
+    __slots__ = ("handle", "vid", "degree", "input", "neighbors")
+
+    def __init__(self, handle: int, vid: int, degree: int, input_label,
+                 neighbors: Tuple[int, ...]) -> None:
+        self.handle = handle
+        self.vid = vid
+        self.degree = degree
+        self.input = input_label
+        #: global handles of neighbours, aligned with incoming-message order
+        self.neighbors = neighbors
+
+
+class MessageAlgorithm:
+    """Synchronous message-passing LOCAL algorithm.
+
+    Subclasses implement the four hooks below.  States are arbitrary
+    objects; messages are arbitrary (the LOCAL model does not bound them).
+    """
+
+    name: str = "message-algorithm"
+
+    def setup(self, graph: Graph, n: int) -> None:
+        """Global precomputation from ``n`` alone (round schedules etc.)."""
+
+    def init_state(self, info: NodeInfo, n: int):
+        raise NotImplementedError
+
+    def message(self, state, t: int):
+        """The broadcast message of a node in state ``state`` at round ``t``."""
+        raise NotImplementedError
+
+    def transition(self, state, incoming: Sequence, t: int):
+        """New state after receiving ``incoming`` (one message per neighbour,
+        aligned with ``NodeInfo.neighbors``) at round ``t``."""
+        raise NotImplementedError
+
+    def decide(self, state, t: int):
+        """Output label to commit at round ``t``, or :data:`CONTINUE`."""
+        raise NotImplementedError
+
+    def max_rounds_hint(self, n: int) -> int:
+        return 4 * n + 64
+
+
+class MessageSimulator:
+    """Execute a :class:`MessageAlgorithm`; same accounting as the view
+    simulator."""
+
+    def __init__(self, max_rounds: Optional[int] = None) -> None:
+        self._max_rounds = max_rounds
+
+    def run(
+        self,
+        graph: Graph,
+        algorithm: MessageAlgorithm,
+        ids: Optional[Sequence[int]] = None,
+    ) -> ExecutionTrace:
+        n = graph.n
+        if n == 0:
+            raise ValueError("cannot run on the empty graph")
+        id_list: List[int] = list(ids) if ids is not None else sequential_ids(n)
+        if len(id_list) != n:
+            raise ValueError("ids length must equal n")
+        validate_ids(id_list)
+
+        algorithm.setup(graph, n)
+        budget = self._max_rounds
+        if budget is None:
+            budget = algorithm.max_rounds_hint(n)
+
+        neighbor_lists = [graph.neighbors(v) for v in graph.nodes()]
+        states = [
+            algorithm.init_state(
+                NodeInfo(v, id_list[v], graph.degree(v), graph.input_of(v),
+                         neighbor_lists[v]),
+                n,
+            )
+            for v in graph.nodes()
+        ]
+        commit_round: List[Optional[int]] = [None] * n
+        outputs: List = [None] * n
+        live = set(range(n))
+
+        t = 0
+        while live:
+            if t > budget:
+                raise SimulationError(
+                    f"{algorithm.name}: exceeded round budget {budget} "
+                    f"with {len(live)} nodes still running"
+                )
+            for v in list(live):
+                decision = algorithm.decide(states[v], t)
+                if decision is not CONTINUE:
+                    commit_round[v] = t
+                    outputs[v] = decision
+                    live.discard(v)
+            if not live:
+                break
+            msgs = [algorithm.message(states[v], t) for v in graph.nodes()]
+            states = [
+                algorithm.transition(
+                    states[v], [msgs[w] for w in neighbor_lists[v]], t
+                )
+                for v in graph.nodes()
+            ]
+            t += 1
+
+        return ExecutionTrace(
+            rounds=[r for r in commit_round],  # type: ignore[list-item]
+            outputs=outputs,
+            algorithm=algorithm.name,
+            meta={"ids": id_list},
+        )

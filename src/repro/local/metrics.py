@@ -1,0 +1,94 @@
+"""Execution traces and the node-averaged complexity measure.
+
+The paper (Section 2) defines the node-averaged complexity of an algorithm
+``A`` on a graph family ``G`` as::
+
+    AVG_V(A) = max_{G in G}  (1/|V|) * sum_{v in V(G)} T_v^G(A)
+
+where ``T_v`` is the round at which ``v`` terminates.  An
+:class:`ExecutionTrace` records the per-node ``T_v`` and outputs of one run;
+aggregation over families/sweeps happens in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ExecutionTrace", "node_averaged", "worst_case"]
+
+
+def node_averaged(rounds: Sequence[int]) -> float:
+    """Average of per-node termination rounds (the paper's measure)."""
+    if not rounds:
+        raise ValueError("empty execution")
+    return sum(rounds) / len(rounds)
+
+
+def worst_case(rounds: Sequence[int]) -> int:
+    """Maximum per-node termination round (classic worst-case measure)."""
+    if not rounds:
+        raise ValueError("empty execution")
+    return max(rounds)
+
+
+@dataclass
+class ExecutionTrace:
+    """Result of executing a LOCAL algorithm on one instance.
+
+    Attributes
+    ----------
+    rounds:
+        ``rounds[v]`` is the round at which node ``v`` committed (``T_v``).
+    outputs:
+        ``outputs[v]`` is the committed output label of node ``v``.
+    algorithm:
+        Name of the executed algorithm.
+    meta:
+        Free-form instrumentation (phase boundaries, layer counts, ...).
+    """
+
+    rounds: List[int]
+    outputs: List
+    algorithm: str = "unknown"
+    meta: Dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return len(self.rounds)
+
+    def node_averaged(self) -> float:
+        return node_averaged(self.rounds)
+
+    def worst_case(self) -> int:
+        return worst_case(self.rounds)
+
+    def total_rounds(self) -> int:
+        """Sum of individual termination times (the paper's charging unit)."""
+        return sum(self.rounds)
+
+    def percentile(self, q: float) -> int:
+        """q-th percentile of per-node rounds, 0 <= q <= 100."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        ordered = sorted(self.rounds)
+        idx = min(len(ordered) - 1, max(0, math.ceil(q / 100 * len(ordered)) - 1))
+        return ordered[idx]
+
+    def rounds_of(self, nodes: Sequence[int]) -> List[int]:
+        return [self.rounds[v] for v in nodes]
+
+    def averaged_over(self, nodes: Sequence[int]) -> float:
+        """Node-averaged complexity restricted to a node subset."""
+        picked = self.rounds_of(nodes)
+        return node_averaged(picked)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "n": float(self.n),
+            "node_averaged": self.node_averaged(),
+            "worst_case": float(self.worst_case()),
+            "median": float(self.percentile(50)),
+            "p99": float(self.percentile(99)),
+        }

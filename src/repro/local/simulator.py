@@ -1,0 +1,89 @@
+"""Synchronous LOCAL-model simulator (full-information formulation).
+
+Rounds proceed ``t = 0, 1, 2, ...``.  In round ``t`` every node that has not
+yet committed is handed its radius-``t`` view (see
+:class:`repro.local.algorithm.View`) and may commit an output.  All decisions
+within a round are simultaneous: a commit at round ``t`` is visible to a node
+at distance ``delta`` only from round ``t + delta`` on.  ``T_v`` is the round
+at which ``v`` commits.
+
+This is the *reference* executor: exact LOCAL semantics, no shortcuts.  The
+structured algorithms in :mod:`repro.algorithms` additionally ship
+"fast-forward" executors that compute the same ``(T_v, output)`` map
+centrally for large-``n`` benchmarking; tests assert they agree with this
+simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .algorithm import CONTINUE, LocalAlgorithm, View
+from .graph import Graph
+from .ids import sequential_ids, validate_ids
+from .metrics import ExecutionTrace
+
+__all__ = ["LocalSimulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when an execution exceeds its round budget."""
+
+
+class LocalSimulator:
+    """Execute a :class:`LocalAlgorithm` on a graph with given IDs."""
+
+    def __init__(self, max_rounds: Optional[int] = None) -> None:
+        self._max_rounds = max_rounds
+
+    def run(
+        self,
+        graph: Graph,
+        algorithm: LocalAlgorithm,
+        ids: Optional[Sequence[int]] = None,
+    ) -> ExecutionTrace:
+        n = graph.n
+        if n == 0:
+            raise ValueError("cannot run on the empty graph")
+        id_list: List[int] = list(ids) if ids is not None else sequential_ids(n)
+        if len(id_list) != n:
+            raise ValueError("ids length must equal n")
+        validate_ids(id_list)
+
+        algorithm.setup(graph, n)
+        budget = self._max_rounds
+        if budget is None:
+            budget = algorithm.max_rounds_hint(n)
+
+        commit_round: List[Optional[int]] = [None] * n
+        outputs: List = [None] * n
+        live = set(range(n))
+
+        t = 0
+        while live:
+            if t > budget:
+                raise SimulationError(
+                    f"{algorithm.name}: exceeded round budget {budget} "
+                    f"with {len(live)} nodes still running"
+                )
+            decided = []
+            for v in live:
+                view = View(graph, v, t, id_list, commit_round, outputs)
+                decision = algorithm.decide(view, n)
+                if decision is not CONTINUE:
+                    decided.append((v, decision))
+            # Commits are simultaneous: apply after all decisions this round.
+            for v, label in decided:
+                commit_round[v] = t
+                outputs[v] = label
+                live.discard(v)
+            t += 1
+
+        rounds = [r for r in commit_round if r is not None]
+        assert len(rounds) == n
+        return ExecutionTrace(
+            rounds=list(rounds),
+            outputs=outputs,
+            algorithm=algorithm.name,
+            meta={"ids": id_list},
+        )

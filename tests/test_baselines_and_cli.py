@@ -1,0 +1,72 @@
+"""Tests for the baselines and the experiment-index CLI."""
+
+import random
+
+from repro.algorithms import WaitForWholeGraph, run_naive_weighted25, run_apoly
+from repro.algorithms.symmetry_breaking import three_color_path
+from repro.constructions import build_weighted_construction
+from repro.constructions.lowerbound import paper_lengths
+from repro.experiments import EXPERIMENTS, main as experiments_main
+from repro.lcl import Weighted25
+from repro.local import LocalSimulator, path_graph, random_ids
+
+
+class TestWaitForWholeGraph:
+    def test_canonical_solution_and_times(self):
+        def solve(graph, ids):
+            colors, _ = three_color_path(
+                [ids[v] for v in range(graph.n)], max(6, graph.n**3)
+            )
+            return colors
+
+        g = path_graph(12)
+        ids = random_ids(12, rng=random.Random(0))
+        trace = LocalSimulator().run(g, WaitForWholeGraph(solve), ids)
+        # proper coloring, and every node waits ~its eccentricity
+        assert all(
+            trace.outputs[i] != trace.outputs[i + 1] for i in range(11)
+        )
+        assert trace.worst_case() >= 11
+        assert trace.node_averaged() >= 11 / 2
+
+
+class TestNaiveStrawman:
+    def test_valid_but_slower(self):
+        delta, d, k = 5, 2, 2
+        lengths = paper_lengths(500, [0.4])
+        wi = build_weighted_construction(lengths, delta, 400)
+        ids = random_ids(wi.n, rng=random.Random(1))
+        prob = Weighted25(delta, d, k)
+        naive = run_naive_weighted25(wi.graph, ids, delta, d, k)
+        assert prob.verify(wi.graph, naive.outputs).valid
+        smart = run_apoly(wi.graph, ids, delta, d, k)
+        assert naive.node_averaged() > smart.node_averaged()
+
+    def test_weight_only_component_declines(self):
+        from repro.lcl import WEIGHT, decline
+
+        g = path_graph(5).with_inputs([WEIGHT] * 5)
+        tr = run_naive_weighted25(g, random_ids(5), 5, 2, 2)
+        assert all(o == decline() for o in tr.outputs)
+
+
+class TestExperimentsCli:
+    def test_index_complete(self):
+        assert len(EXPERIMENTS) == 18
+        assert all(k.startswith("e") for k in EXPERIMENTS)
+
+    def test_list_mode(self, capsys):
+        assert experiments_main(["prog"]) == 0
+        out = capsys.readouterr().out
+        assert "e04" in out and "Theorem" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert experiments_main(["prog", "e99"]) == 1
+
+    def test_show_recorded_table(self, capsys, tmp_path, monkeypatch):
+        import repro.experiments as exp
+
+        (tmp_path / "e04.txt").write_text("E4 table here\n")
+        monkeypatch.setattr(exp, "results_dir", lambda: str(tmp_path))
+        assert exp.main(["prog", "e04"]) == 0
+        assert "E4 table here" in capsys.readouterr().out

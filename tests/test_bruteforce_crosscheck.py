@@ -1,0 +1,145 @@
+"""Brute-force cross-checks on tiny instances.
+
+The strongest form of checker/solver validation: enumerate *every*
+labeling of a tiny instance and compare against what the library's
+checkers accept and what the optimizing solvers report."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.algorithms import optimal_copy_assignment, run_algorithm_a
+from repro.constructions import random_tree
+from repro.lcl import Coloring25, DFreeWeightProblem, compute_levels
+from repro.lcl.dfree import A_INPUT, CONNECT, COPY, DECLINE, W_INPUT
+from repro.local import Graph, path_graph, star_graph
+
+
+class TestDFreeBruteForce:
+    """The DP minimum must equal the brute-force minimum Copy count."""
+
+    def brute_min_copies(self, graph, d, root, ball, frontier):
+        nodes = sorted(ball)
+        best = None
+        for combo in itertools.product((COPY, DECLINE), repeat=len(nodes)):
+            assign = dict(zip(nodes, combo))
+            if assign[root] != COPY:
+                continue
+            if any(assign[u] == COPY for u in frontier):
+                continue
+            ok = True
+            for u in nodes:
+                if assign[u] == COPY:
+                    declines = sum(
+                        1
+                        for w in graph.neighbors(u)
+                        if w in ball and assign[w] == DECLINE
+                    )
+                    # neighbours outside the ball decline implicitly
+                    declines += sum(
+                        1 for w in graph.neighbors(u) if w not in ball
+                    )
+                    if declines > d:
+                        ok = False
+                        break
+            if ok:
+                copies = sum(1 for lab in assign.values() if lab == COPY)
+                if best is None or copies < best:
+                    best = copies
+        return best
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_dp_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        g = random_tree(rng.randint(3, 11), 4, rng)
+        d = rng.choice([1, 2, 3])
+        root = 0
+        radius = rng.randint(1, 3)
+        ball_map = g.ball(root, radius)
+        ball = set(ball_map)
+        frontier = {u for u, dist in ball_map.items() if dist == radius}
+        if root in frontier:
+            frontier.discard(root)
+        expected = self.brute_min_copies(g, d, root, ball, frontier)
+        if expected is None:
+            with pytest.raises(AssertionError):
+                optimal_copy_assignment(g, root, ball, frontier, d)
+            return
+        assign = optimal_copy_assignment(g, root, ball, frontier, d)
+        got = sum(1 for lab in assign.values() if lab == COPY)
+        assert got == expected, (seed, got, expected)
+
+
+class TestColoring25BruteForce:
+    """Our solvers must agree with brute-force solvability, and the
+    checker must accept exactly the solutions a direct reading of
+    Definition 8 accepts."""
+
+    def direct_check(self, graph, levels, outputs, k):
+        # an independent re-implementation of Definition 8, written
+        # differently from the library checker on purpose
+        for v in graph.nodes():
+            lv, out = levels[v], outputs[v]
+            lower_colored = any(
+                outputs[w] in ("W", "B", "E")
+                for w in graph.neighbors(v)
+                if levels[w] < lv
+            )
+            if lv == 1 and out == "E":
+                return False
+            if lv == k + 1:
+                if out != "E":
+                    return False
+                continue
+            if 2 <= lv <= k and (out == "E") != lower_colored:
+                return False
+            if lv == k and out == "D":
+                return False
+            if out in ("W", "B"):
+                for w in graph.neighbors(v):
+                    if levels[w] == lv and outputs[w] in (out, "D"):
+                        return False
+            if out not in ("W", "B", "E", "D"):
+                return False
+        return True
+
+    @pytest.mark.parametrize("graph_factory,k", [
+        (lambda: path_graph(4), 1),
+        (lambda: star_graph(3), 1),
+        (lambda: star_graph(3), 2),
+        (lambda: Graph(6, [(0, 1), (1, 2), (1, 3), (3, 4), (3, 5)]), 2),
+    ])
+    def test_checker_equals_direct_reading(self, graph_factory, k):
+        g = graph_factory()
+        levels = compute_levels(g, k)
+        prob = Coloring25(k)
+        labels = ("W", "B", "E", "D")
+        agree = 0
+        for combo in itertools.product(labels, repeat=g.n):
+            lib = prob.verify(g, list(combo)).valid
+            direct = self.direct_check(g, levels, combo, k)
+            assert lib == direct, (combo, levels)
+            agree += 1
+        assert agree == len(labels) ** g.n
+
+
+class TestAlgorithmAOnTinyInstances:
+    def test_every_output_kind_reachable(self):
+        # a path with A at the ends and in the middle produces Connect,
+        # Copy and Decline all at once somewhere in the space of instances
+        seen = set()
+        for seed in range(30):
+            rng = random.Random(seed)
+            g = random_tree(rng.randint(2, 25), 3, rng)
+            inputs = [
+                A_INPUT if rng.random() < 0.25 else W_INPUT
+                for _ in range(g.n)
+            ]
+            sol = run_algorithm_a(g.with_inputs(inputs), 2)
+            seen.update(sol.outputs)
+            assert DFreeWeightProblem(5, 2).verify(
+                g.with_inputs(inputs), sol.outputs
+            ).valid
+        assert seen == {CONNECT, COPY, DECLINE}

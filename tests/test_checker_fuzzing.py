@@ -1,0 +1,120 @@
+"""Checker fuzzing: random labelings are overwhelmingly rejected, valid
+ones are stable under re-verification, and every checker is deterministic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import run_apoly
+from repro.constructions import build_weighted_construction, random_tree
+from repro.constructions.lowerbound import paper_lengths
+from repro.lcl import (
+    Coloring25,
+    Coloring35,
+    DFreeWeightProblem,
+    Weighted25,
+    connect,
+    copy_of,
+    decline,
+)
+from repro.lcl.dfree import A_INPUT, W_INPUT
+from repro.local import path_graph, random_ids
+
+
+class TestRandomLabelingsRejected:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=3, max_value=40),
+           st.integers(min_value=0, max_value=10**6))
+    def test_random_25_labelings(self, n, seed):
+        rng = random.Random(seed)
+        g = random_tree(n, 4, rng)
+        prob = Coloring25(2)
+        outputs = [rng.choice(["W", "B", "E", "D"]) for _ in range(n)]
+        res = prob.verify(g, outputs)
+        # re-verification is deterministic
+        res2 = prob.verify(g, outputs)
+        assert res.valid == res2.valid
+        assert len(res.violations) == len(res2.violations)
+
+    def test_random_rejection_rate(self):
+        # on a 30-node tree, random labelings are almost never valid
+        rng = random.Random(0)
+        g = random_tree(30, 4, rng)
+        prob = Coloring35(2)
+        labels = list(prob.sigma_out)
+        accepted = sum(
+            1
+            for _ in range(300)
+            if prob.verify(g, [rng.choice(labels) for _ in range(30)]).valid
+        )
+        assert accepted <= 3
+
+    def test_dfree_random_rejection(self):
+        rng = random.Random(1)
+        g = random_tree(25, 4, rng).with_inputs(
+            [A_INPUT if rng.random() < 0.3 else W_INPUT for _ in range(25)]
+        )
+        prob = DFreeWeightProblem(5, 2)
+        labels = ["Copy", "Connect", "Decline"]
+        accepted = sum(
+            1
+            for _ in range(300)
+            if prob.verify(g, [rng.choice(labels) for _ in range(25)]).valid
+        )
+        assert accepted < 50  # Connect constraints bite hard
+
+
+class TestWeightedCheckerMutations:
+    """Every single-node mutation of a valid Pi^2.5 solution that changes
+    the label class is detected somewhere (not necessarily at that node)."""
+
+    def test_mutation_sweep(self):
+        delta, d, k = 5, 2, 2
+        lengths = paper_lengths(400, [0.4])
+        wi = build_weighted_construction(lengths, delta, 300)
+        ids = random_ids(wi.n, rng=random.Random(3))
+        tr = run_apoly(wi.graph, ids, delta, d, k)
+        prob = Weighted25(delta, d, k)
+        assert prob.verify(wi.graph, tr.outputs).valid
+        rng = random.Random(4)
+        checked = detected = 0
+        weight_mutants = [decline(), connect(), copy_of("W"), copy_of("E")]
+        for v in rng.sample(list(wi.weight_nodes()), 25):
+            for mutant in weight_mutants:
+                if mutant == tr.outputs[v]:
+                    continue
+                bad = list(tr.outputs)
+                bad[v] = mutant
+                checked += 1
+                if not prob.verify(wi.graph, bad).valid:
+                    detected += 1
+        # most arbitrary rewrites of a weight node break something
+        assert checked > 0
+        assert detected / checked > 0.6, (detected, checked)
+
+
+class TestViewCausality:
+    """The view simulator must not leak outputs faster than light."""
+
+    def test_output_visibility_radius(self):
+        from repro.local import CONTINUE, LocalAlgorithm, LocalSimulator
+
+        class Probe(LocalAlgorithm):
+            name = "probe"
+
+            def decide(self, view, n):
+                me = view.center
+                if view.id_of(me) == 1:
+                    return "src"
+                # report the first round at which any output is visible
+                for u in view.nodes():
+                    if u != me and view.output_of(u) is not None:
+                        return view.round
+                return CONTINUE
+
+        g = path_graph(8)
+        trace = LocalSimulator().run(g, Probe(), list(range(1, 9)))
+        # node at distance d sees the round-0 commit exactly at round d
+        for v in range(1, 8):
+            assert trace.outputs[v] == v

@@ -1,0 +1,172 @@
+"""Tests for the d-free weight problem and Algorithm A (Section 7)."""
+
+import math
+import random
+from collections import deque
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.dfree_solver import (
+    astar_assignment,
+    dfree_radius,
+    optimal_copy_assignment,
+    run_algorithm_a,
+)
+from repro.constructions import random_tree
+from repro.lcl import DFreeWeightProblem
+from repro.lcl.dfree import A_INPUT, CONNECT, COPY, DECLINE, W_INPUT, count_copies
+from repro.local import Graph, path_graph
+
+
+def regular_weight_tree(w: int, delta: int) -> Graph:
+    """Balanced tree of w nodes; root (handle 0, input A) and every other
+    node have delta-1 children — the Lemma 23 instance."""
+    edges = []
+    frontier = deque([0])
+    nxt, remaining = 1, w - 1
+    while remaining > 0:
+        p = frontier.popleft()
+        for _ in range(delta - 1):
+            if remaining == 0:
+                break
+            edges.append((p, nxt))
+            frontier.append(nxt)
+            nxt += 1
+            remaining -= 1
+    return Graph(w, edges, [A_INPUT] + [W_INPUT] * (w - 1))
+
+
+class TestProblemChecker:
+    def test_a_node_cannot_decline(self):
+        g = Graph(2, [(0, 1)], [A_INPUT, W_INPUT])
+        prob = DFreeWeightProblem(5, 2)
+        assert not prob.verify(g, [DECLINE, DECLINE]).valid
+        assert prob.verify(g, [COPY, DECLINE]).valid
+
+    def test_connect_support(self):
+        g = path_graph(4).with_inputs([A_INPUT, W_INPUT, W_INPUT, A_INPUT])
+        prob = DFreeWeightProblem(5, 2)
+        assert prob.verify(g, [CONNECT] * 4).valid
+        # a W-Connect node needs two Connect neighbours
+        assert not prob.verify(g, [COPY, CONNECT, DECLINE, COPY]).valid
+
+    def test_copy_decline_budget(self):
+        g = Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4)],
+                  [A_INPUT] + [W_INPUT] * 4)
+        prob = DFreeWeightProblem(5, 2)
+        assert prob.verify(g, [COPY, DECLINE, DECLINE, COPY, COPY]).valid
+        assert not prob.verify(g, [COPY, DECLINE, DECLINE, DECLINE, COPY]).valid
+
+
+class TestAlgorithmA:
+    def test_radius_schedule(self):
+        L, R = dfree_radius(1000, 2)
+        assert L == math.ceil(math.log(1000, 3))
+        assert R == 3 * L + 3
+
+    @pytest.mark.parametrize("delta,d", [(5, 2), (6, 3), (9, 4)])
+    def test_valid_on_regular_trees(self, delta, d):
+        for w in (5, 60, 400):
+            g = regular_weight_tree(w, delta)
+            sol = run_algorithm_a(g, d)
+            assert DFreeWeightProblem(delta, d).verify(g, sol.outputs).valid
+
+    def test_connect_between_close_a_nodes(self):
+        # two A-nodes at distance 3 with big n: everything on the path
+        # connects
+        g = path_graph(4).with_inputs([A_INPUT, W_INPUT, W_INPUT, A_INPUT])
+        sol = run_algorithm_a(g, d=2, n_global=1000)
+        assert sol.outputs == [CONNECT] * 4
+
+    def test_far_a_nodes_copy(self):
+        m = 101
+        inputs = [W_INPUT] * m
+        inputs[0] = inputs[m - 1] = A_INPUT
+        g = path_graph(m).with_inputs(inputs)
+        sol = run_algorithm_a(g, d=2, n_global=m)
+        assert sol.outputs[0] == COPY and sol.outputs[m - 1] == COPY
+        assert DFreeWeightProblem(5, 2).verify(g, sol.outputs).valid
+
+    def test_all_w_component_declines(self):
+        g = path_graph(10).with_inputs([W_INPUT] * 10)
+        sol = run_algorithm_a(g, d=2)
+        assert all(o == DECLINE for o in sol.outputs)
+
+    def test_rejects_bad_inputs(self):
+        g = path_graph(2).with_inputs([A_INPUT, "bogus"])
+        with pytest.raises(ValueError):
+            run_algorithm_a(g, 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=120),
+           st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=2, max_value=3))
+    def test_random_instances_valid(self, n, seed, d):
+        rng = random.Random(seed)
+        g = random_tree(n, 4, rng)
+        inputs = [A_INPUT if rng.random() < 0.15 else W_INPUT for _ in range(n)]
+        g = g.with_inputs(inputs)
+        sol = run_algorithm_a(g, d)
+        prob = DFreeWeightProblem(max(5, d + 3), d)
+        assert prob.verify(g, sol.outputs).valid
+
+
+class TestCopyEfficiency:
+    """Lemmas 23 and 40: the minimum Copy count on balanced delta-regular
+    trees is Theta(w^x), x = log(delta-1-d)/log(delta-1)."""
+
+    @pytest.mark.parametrize("delta,d", [(5, 2), (9, 4)])
+    def test_copy_count_tracks_w_to_x(self, delta, d):
+        x = math.log(delta - 1 - d) / math.log(delta - 1)
+        for w in (100, 1000):
+            g = regular_weight_tree(w, delta)
+            sol = run_algorithm_a(g, d)
+            copies = count_copies(sol.outputs)
+            assert copies >= 0.3 * w**x, (w, copies, w**x)
+            assert copies <= 8 * w**x, (w, copies, w**x)
+
+    def test_dp_never_worse_than_astar(self):
+        for delta, d, w in [(5, 2, 200), (6, 3, 300)]:
+            g = regular_weight_tree(w, delta)
+            L, _ = dfree_radius(w, d)
+            ball_map = g.ball(0, L + 1)
+            ball, frontier = set(ball_map), {
+                u for u, dist in ball_map.items() if dist == L + 1
+            }
+            a = astar_assignment(g, 0, ball, frontier, d)
+            o = optimal_copy_assignment(g, 0, ball, frontier, d)
+            a_copies = sum(1 for lab in a.values() if lab == COPY)
+            o_copies = sum(1 for lab in o.values() if lab == COPY)
+            assert o_copies <= a_copies
+
+    def test_lemma40_bound(self):
+        # |U^_Copy| <= 6 |U^|^x for the A* assignment
+        for delta, d in [(5, 2), (9, 4)]:
+            x = math.log(delta - 1 - d) / math.log(delta - 1)
+            g = regular_weight_tree(1500, delta)
+            L, _ = dfree_radius(1500, d)
+            ball_map = g.ball(0, L + 1)
+            ball, frontier = set(ball_map), {
+                u for u, dist in ball_map.items() if dist == L + 1
+            }
+            a = astar_assignment(g, 0, ball, frontier, d)
+            copies = sum(1 for lab in a.values() if lab == COPY)
+            assert copies <= 6 * len(ball) ** x
+
+    def test_dp_copy_component_connected(self):
+        g = regular_weight_tree(500, 5)
+        sol = run_algorithm_a(g, 2)
+        comp = sol.copy_component_of[0]
+        comp_set = set(comp)
+        # connected: BFS from the A-node covers everything
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for w in g.neighbors(u):
+                if w in comp_set and w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        assert seen == comp_set
+        assert [v for v in g.nodes() if sol.outputs[v] == COPY] == comp

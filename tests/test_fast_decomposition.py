@@ -1,0 +1,141 @@
+"""Tests for the adapted fast-decomposition d-free solver (Section 8.1)
+and the Pi^{3.5} composition (Section 8.2)."""
+
+import math
+import random
+from collections import deque
+
+import pytest
+
+from repro.algorithms.fast_decomposition import run_fast_dfree
+from repro.algorithms.weighted25 import run_a35
+from repro.algorithms.weighted35 import run_weighted35
+from repro.analysis import (
+    alpha_vector_logstar,
+    efficiency_factor_relaxed,
+)
+from repro.constructions import build_weighted_construction, random_tree
+from repro.constructions.lowerbound import paper_lengths
+from repro.lcl import DFreeWeightProblem, Weighted35
+from repro.lcl.dfree import A_INPUT, COPY, DECLINE, W_INPUT
+from repro.local import Graph, path_graph, random_ids
+
+
+def weight_tree(w, delta):
+    edges = []
+    frontier = deque([0])
+    nxt, remaining = 1, w - 1
+    while remaining > 0:
+        p = frontier.popleft()
+        for _ in range(delta - 1):
+            if remaining == 0:
+                break
+            edges.append((p, nxt))
+            frontier.append(nxt)
+            nxt += 1
+            remaining -= 1
+    return Graph(w, edges, [A_INPUT] + [W_INPUT] * (w - 1))
+
+
+class TestFastDFree:
+    @pytest.mark.parametrize("delta,d", [(6, 3), (9, 4)])
+    def test_valid(self, delta, d):
+        for w in (10, 200, 2000):
+            g = weight_tree(w, delta)
+            sol = run_fast_dfree(g, d)
+            assert DFreeWeightProblem(delta, d).verify(g, sol.outputs).valid
+
+    def test_requires_d_ge_2(self):
+        with pytest.raises(ValueError):
+            run_fast_dfree(weight_tree(10, 6), 1)
+
+    def test_lemma52_copy_bound(self):
+        delta, d = 6, 3
+        xp = math.log(delta - d + 1) / math.log(delta - 1)
+        for w in (500, 4000):
+            g = weight_tree(w, delta)
+            sol = run_fast_dfree(g, d)
+            copies = sol.outputs.count(COPY)
+            assert copies <= 2 * w**xp + 2
+
+    def test_constant_node_average(self):
+        # Corollary 49 shape: averaged time flat in w, worst O(log w)
+        delta, d = 6, 3
+        avgs = []
+        for w in (500, 5000, 20000):
+            g = weight_tree(w, delta)
+            sol = run_fast_dfree(g, d)
+            avgs.append(sum(sol.rounds) / w)
+            assert max(sol.rounds) <= 12 * math.log2(w)
+        assert max(avgs) <= avgs[0] + 3  # essentially flat
+
+    def test_copy_component_separated_by_declines(self):
+        # Lemma 50: neighbours of a Copy component decline
+        g = weight_tree(800, 6)
+        sol = run_fast_dfree(g, 3)
+        comp = set(sol.copy_component_of[0])
+        for u in comp:
+            for w in g.neighbors(u):
+                if w not in comp:
+                    assert sol.outputs[w] == DECLINE
+
+    def test_close_a_nodes_connect(self):
+        g = path_graph(4).with_inputs([A_INPUT, W_INPUT, W_INPUT, A_INPUT])
+        sol = run_fast_dfree(g, 3)
+        assert sol.outputs == ["Connect"] * 4
+        assert all(r == 5 for r in sol.rounds)
+
+    def test_random_instances(self):
+        for seed in range(10):
+            rng = random.Random(seed)
+            g = random_tree(rng.randint(3, 300), 5, rng)
+            inputs = [
+                A_INPUT if rng.random() < 0.1 else W_INPUT for _ in range(g.n)
+            ]
+            sol = run_fast_dfree(g.with_inputs(inputs), 3)
+            assert DFreeWeightProblem(6, 3).verify(
+                g.with_inputs(inputs), sol.outputs
+            ).valid
+
+
+class TestWeighted35Composition:
+    def _instance(self, n_target, delta, d, k):
+        xp = efficiency_factor_relaxed(delta, d)
+        lengths = paper_lengths(
+            max(80, n_target // k), alpha_vector_logstar(xp, k), "logstar"
+        )
+        return build_weighted_construction(
+            lengths, delta, weight_per_level=n_target // k
+        )
+
+    @pytest.mark.parametrize("delta,d,k", [(6, 3, 2), (7, 4, 2), (6, 3, 3)])
+    def test_valid(self, delta, d, k):
+        wi = self._instance(1500, delta, d, k)
+        ids = random_ids(wi.n, rng=random.Random(delta + k))
+        tr = run_weighted35(wi.graph, ids, delta, d, k)
+        res = Weighted35(delta, d, k).verify(wi.graph, tr.outputs)
+        assert res.valid, res.violations[:5]
+
+    def test_theorem5_hypotheses_enforced(self):
+        wi = self._instance(500, 6, 3, 2)
+        with pytest.raises(ValueError):
+            run_weighted35(wi.graph, random_ids(wi.n), 6, 2, 2)
+
+    def test_fast_beats_algorithm_a_on_declines(self):
+        # the Algorithm-A weight side pays Theta(log n) on every weight
+        # node; the fast side pays O(1) averaged on Declines
+        wi = self._instance(4000, 6, 3, 2)
+        ids = random_ids(wi.n, rng=random.Random(9))
+        fast = run_weighted35(wi.graph, ids, 6, 3, 2)
+        base = run_a35(wi.graph, ids, 6, 3, 2)
+        assert fast.node_averaged() < base.node_averaged()
+
+    def test_averaged_flat_in_n(self):
+        vals = []
+        for n_target in (1000, 8000):
+            wi = self._instance(n_target, 6, 3, 2)
+            ids = random_ids(wi.n, rng=random.Random(11))
+            tr = run_weighted35(wi.graph, ids, 6, 3, 2)
+            vals.append(tr.node_averaged())
+        # log*-regime: no polynomial growth
+        assert vals[1] <= 2 * vals[0] + 5

@@ -1,0 +1,122 @@
+"""Tests for the Section-11 gap machinery: black-white formalism, classes,
+testing procedure, and the Theorem-7 decider."""
+
+import pytest
+
+from repro.gap import (
+    RectangleChooser,
+    decide_node_averaged_class,
+    find_good_function,
+    g_single_node,
+    is_constant_good,
+    leaf_label_sets,
+    maximal_rectangles,
+    node_feasible,
+    path_relation,
+)
+from repro.gap.problems import all_equal, edge_2coloring, edge_3coloring, free_labeling
+from repro.lcl import BlackWhiteLCL, two_color_tree
+from repro.local import path_graph
+
+
+class TestBlackWhiteChecker:
+    def test_verify_free(self):
+        g = path_graph(4)
+        colors = two_color_tree(g)
+        prob = free_labeling()
+        edges = {frozenset(e): "-" for e in g.edges()}
+        outs = {frozenset(e): 0 for e in g.edges()}
+        assert prob.verify(g, colors, edges, outs).valid
+
+    def test_verify_coloring(self):
+        g = path_graph(4)
+        colors = two_color_tree(g)
+        prob = edge_3coloring()
+        edges = {frozenset(e): "-" for e in g.edges()}
+        good = {frozenset((i, i + 1)): (i % 3) + 1 for i in range(3)}
+        assert prob.verify(g, colors, edges, good).valid
+        bad = dict(good)
+        bad[frozenset((1, 2))] = good[frozenset((0, 1))]
+        assert not prob.verify(g, colors, edges, bad).valid
+
+    def test_rejects_bad_2coloring(self):
+        g = path_graph(3)
+        prob = free_labeling()
+        edges = {frozenset(e): "-" for e in g.edges()}
+        outs = {frozenset(e): 0 for e in g.edges()}
+        assert not prob.verify(g, ["W", "W", "B"], edges, outs).valid
+
+
+class TestClasses:
+    def test_leaf_label_sets(self):
+        prob = edge_3coloring()
+        ls = leaf_label_sets(prob, "W")["-"]
+        assert ls == frozenset({1, 2, 3})
+
+    def test_g_single_node(self):
+        prob = edge_3coloring()
+        # one incoming edge fixed to {1}: outgoing may be 2 or 3
+        out = g_single_node(prob, "W", [("-", frozenset({1}))], "-")
+        assert out == frozenset({2, 3})
+
+    def test_node_feasible(self):
+        prob = edge_2coloring()
+        assert node_feasible(prob, "W", [("-", 1)], [("-", frozenset({2}))])
+        assert not node_feasible(prob, "W", [("-", 1)], [("-", frozenset({1}))])
+
+    def test_path_relation_3coloring_is_full(self):
+        prob = edge_3coloring()
+        rel = path_relation(
+            prob, ["W", "B", "W"], ["-", "-"], [[], [], []], ("-", "-")
+        )
+        assert len(rel) == 9  # any endpoint combination is completable
+
+    def test_path_relation_2coloring_is_parity(self):
+        prob = edge_2coloring()
+        rel = path_relation(prob, ["W", "B"], ["-"], [[], []], ("-", "-"))
+        # two nodes, middle edge: out1 != mid != out2: out1, out2 free? no:
+        # out1 != mid and out2 != mid with 2 colors forces out1 == out2
+        assert rel == frozenset({(1, 1), (2, 2)})
+
+    def test_maximal_rectangles(self):
+        rel = frozenset({(1, 2), (2, 1)})
+        rects = maximal_rectangles(rel)
+        assert (frozenset({1}), frozenset({2})) in rects
+        assert (frozenset({2}), frozenset({1})) in rects
+        full = frozenset({(a, b) for a in (1, 2) for b in (1, 2)})
+        assert maximal_rectangles(full) == [
+            (frozenset({1, 2}), frozenset({1, 2}))
+        ]
+
+    def test_empty_relation_no_rects(self):
+        assert maximal_rectangles(frozenset()) == []
+
+
+class TestDecider:
+    def test_free_labeling_is_constant(self):
+        v = decide_node_averaged_class(free_labeling())
+        assert v.klass == "O(1)"
+        assert v.witness is not None
+
+    def test_all_equal_is_constant(self):
+        assert decide_node_averaged_class(all_equal()).klass == "O(1)"
+
+    def test_edge_3coloring_is_logstar(self):
+        v = decide_node_averaged_class(edge_3coloring())
+        assert v.klass == "logstar-regime"
+
+    def test_edge_2coloring_has_no_good_function(self):
+        v = decide_node_averaged_class(edge_2coloring())
+        assert v.klass == "no-good-function"
+        assert find_good_function(edge_2coloring()) is None
+
+    def test_good_function_exists_for_3coloring(self):
+        got = find_good_function(edge_3coloring())
+        assert got is not None
+        chooser, outcome = got
+        assert outcome.good
+        assert not is_constant_good(edge_3coloring(), chooser, outcome)
+
+    def test_verdict_str(self):
+        v = decide_node_averaged_class(free_labeling())
+        assert "O(1)" in str(v)

@@ -1,0 +1,125 @@
+"""Tests for the graph substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.local import Graph, balanced_tree, from_networkx, path_graph, star_graph, to_networkx
+
+
+class TestGraphBasics:
+    def test_empty_edges(self):
+        g = Graph(3, [])
+        assert g.n == 3 and g.m == 0
+        assert g.degree(0) == 0
+
+    def test_path_structure(self):
+        g = path_graph(5)
+        assert g.n == 5 and g.m == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+        assert g.is_tree()
+
+    def test_single_node_is_tree(self):
+        assert path_graph(1).is_tree()
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 0)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 2)])
+
+    def test_inputs_roundtrip(self):
+        g = Graph(3, [(0, 1)], inputs=["a", "b", "c"])
+        assert g.input_of(2) == "c"
+        g2 = g.with_inputs(["x", "y", "z"])
+        assert g2.input_of(0) == "x"
+        assert g.input_of(0) == "a"
+
+    def test_inputs_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Graph(2, [], inputs=["a"])
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.degree(0) == 5
+        assert g.max_degree() == 5
+        assert g.is_tree()
+
+    def test_balanced_tree_counts(self):
+        g = balanced_tree(fanout=2, height=3)
+        assert g.n == 1 + 2 + 4 + 8
+        assert g.is_tree()
+        assert g.degree(0) == 2
+
+    def test_forest_detection(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.is_forest()
+        assert not g.is_tree()
+        assert not g.is_connected()
+
+
+class TestBallsAndComponents:
+    def test_ball_radii(self):
+        g = path_graph(9)
+        ball = g.ball(4, 2)
+        assert set(ball) == {2, 3, 4, 5, 6}
+        assert ball[2] == 2 and ball[4] == 0
+
+    def test_ball_zero(self):
+        g = path_graph(3)
+        assert g.ball(1, 0) == {1: 0}
+
+    def test_components(self):
+        g = Graph(5, [(0, 1), (3, 4)])
+        comps = sorted(sorted(c) for c in g.connected_components())
+        assert comps == [[0, 1], [2], [3, 4]]
+
+    def test_eccentricity_path(self):
+        g = path_graph(7)
+        assert g.eccentricity(0) == 6
+        assert g.eccentricity(3) == 3
+
+    def test_bfs_multi_source(self):
+        g = path_graph(5)
+        dist = g.bfs_distances([0, 4])
+        assert dist == [0, 1, 2, 1, 0]
+
+    def test_induced_subgraph(self):
+        g = path_graph(5)
+        sub, remap = g.induced_subgraph([1, 2, 3])
+        assert sub.n == 3 and sub.m == 2
+        assert remap[2] == 1
+
+
+class TestNetworkxConversion:
+    def test_roundtrip(self):
+        g = balanced_tree(3, 2)
+        nx_g = to_networkx(g)
+        back = from_networkx(nx_g)
+        assert back.n == g.n and back.m == g.m
+
+    def test_inputs_preserved(self):
+        g = Graph(2, [(0, 1)], inputs=["Active", "Weight"])
+        back = from_networkx(to_networkx(g))
+        assert sorted([back.input_of(0), back.input_of(1)]) == ["Active", "Weight"]
+
+
+@given(st.integers(min_value=1, max_value=40))
+def test_path_is_tree_property(n):
+    g = path_graph(n)
+    assert g.is_tree()
+    assert g.m == n - 1
+    assert sum(g.degree(v) for v in g.nodes()) == 2 * g.m
+
+
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=4))
+def test_balanced_tree_property(fanout, height):
+    g = balanced_tree(fanout, height)
+    assert g.is_tree()
+    expected = sum(fanout**i for i in range(height + 1))
+    assert g.n == expected

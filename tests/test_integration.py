@@ -1,0 +1,143 @@
+"""Integration tests: full pipelines across modules, plus failure
+injection on every composed solver."""
+
+import random
+
+import pytest
+
+from repro.algorithms import (
+    run_a35,
+    run_apoly,
+    run_weight_augmented_solver,
+    run_weighted35,
+)
+from repro.algorithms.baselines import run_naive_weighted25
+from repro.analysis import (
+    alpha_vector_logstar,
+    alpha_vector_poly,
+    efficiency_factor,
+    efficiency_factor_relaxed,
+    find_poly_problem,
+)
+from repro.constructions import build_weighted_construction
+from repro.constructions.lowerbound import paper_lengths
+from repro.lcl import (
+    WeightAugmented25,
+    Weighted25,
+    Weighted35,
+    copy_of,
+    decline,
+)
+from repro.local import random_ids
+
+
+def poly_instance(n_target=2_000, delta=5, d=2, k=2, seed=0):
+    x = efficiency_factor(delta, d)
+    lengths = paper_lengths(n_target // k, alpha_vector_poly(x, k))
+    wi = build_weighted_construction(lengths, delta, n_target // k)
+    ids = random_ids(wi.n, rng=random.Random(seed))
+    return wi, ids
+
+
+class TestEndToEndPipelines:
+    def test_theorem1_to_apoly(self):
+        """find_poly_problem -> construction -> A_poly -> checker."""
+        p = find_poly_problem(0.34, 0.42)
+        # cap parameters for a feasible run (the found Delta can be big)
+        if p.delta > 17:
+            pytest.skip("window landed on large Delta; covered elsewhere")
+        wi, ids = poly_instance(1_500, p.delta, p.d, p.k, 1)
+        tr = run_apoly(wi.graph, ids, p.delta, p.d, p.k)
+        assert Weighted25(p.delta, p.d, p.k).verify(wi.graph, tr.outputs).valid
+
+    def test_all_solvers_on_same_instance(self):
+        wi, ids = poly_instance(2_500, 6, 3, 2, 2)
+        results = {}
+        tr = run_apoly(wi.graph, ids, 6, 3, 2)
+        assert Weighted25(6, 3, 2).verify(wi.graph, tr.outputs).valid
+        results["apoly"] = tr.node_averaged()
+        tr = run_a35(wi.graph, ids, 6, 3, 2)
+        assert Weighted35(6, 3, 2).verify(wi.graph, tr.outputs).valid
+        results["a35"] = tr.node_averaged()
+        tr = run_weighted35(wi.graph, ids, 6, 3, 2)
+        assert Weighted35(6, 3, 2).verify(wi.graph, tr.outputs).valid
+        results["w35-fast"] = tr.node_averaged()
+        tr = run_naive_weighted25(wi.graph, ids, 6, 3, 2)
+        assert Weighted25(6, 3, 2).verify(wi.graph, tr.outputs).valid
+        results["naive"] = tr.node_averaged()
+        tr = run_weight_augmented_solver(wi.graph, ids, 2)
+        assert WeightAugmented25(2).verify(wi.graph, tr.outputs).valid
+        results["weight-aug"] = tr.node_averaged()
+        # the strawman is the worst 2.5-style solver
+        assert results["naive"] > results["apoly"]
+        # the fast 3.5 composition beats the Algorithm-A one
+        assert results["w35-fast"] < results["a35"]
+
+    def test_logstar_pipeline(self):
+        delta, d, k = 6, 3, 2
+        xp = efficiency_factor_relaxed(delta, d)
+        lengths = paper_lengths(1_000, alpha_vector_logstar(xp, k), "logstar")
+        wi = build_weighted_construction(lengths, delta, 1_000)
+        ids = random_ids(wi.n, rng=random.Random(3))
+        tr = run_weighted35(wi.graph, ids, delta, d, k)
+        assert Weighted35(delta, d, k).verify(wi.graph, tr.outputs).valid
+
+
+class TestFailureInjection:
+    """Corrupt solver outputs in targeted ways; the checker must notice."""
+
+    def test_swap_secondary(self):
+        wi, ids = poly_instance(seed=4)
+        tr = run_apoly(wi.graph, ids, 5, 2, 2)
+        prob = Weighted25(5, 2, 2)
+        assert prob.verify(wi.graph, tr.outputs).valid
+        corrupted = 0
+        for v in wi.weight_nodes():
+            out = tr.outputs[v]
+            if isinstance(out, tuple) and out[0] == "Copy":
+                bad = list(tr.outputs)
+                wrong = "W" if out[1] != "W" else "B"
+                bad[v] = copy_of(wrong)
+                assert not prob.verify(wi.graph, bad).valid
+                corrupted += 1
+                if corrupted >= 5:
+                    break
+        assert corrupted >= 1
+
+    def test_decline_next_to_active(self):
+        wi, ids = poly_instance(seed=5)
+        tr = run_apoly(wi.graph, ids, 5, 2, 2)
+        prob = Weighted25(5, 2, 2)
+        a = next(iter(wi.tree_of))
+        root = next(w for w in wi.tree_of[a] if a in wi.graph.neighbors(w))
+        bad = list(tr.outputs)
+        bad[root] = decline()
+        assert not prob.verify(wi.graph, bad).valid
+
+    def test_flip_active_color(self):
+        wi, ids = poly_instance(seed=6)
+        tr = run_apoly(wi.graph, ids, 5, 2, 2)
+        prob = Weighted25(5, 2, 2)
+        flipped = 0
+        for v in wi.active_nodes():
+            if tr.outputs[v] in ("W", "B"):
+                bad = list(tr.outputs)
+                bad[v] = "B" if tr.outputs[v] == "W" else "W"
+                res = prob.verify(wi.graph, bad)
+                # flipping one color in a 2-colored path always breaks
+                # either the coloring or a Copy node's secondary
+                assert not res.valid
+                flipped += 1
+                if flipped >= 5:
+                    break
+        assert flipped >= 1
+
+
+class TestTraceConsistency:
+    def test_rounds_nonnegative_and_bounded(self):
+        wi, ids = poly_instance(seed=7)
+        tr = run_apoly(wi.graph, ids, 5, 2, 2)
+        assert all(r >= 0 for r in tr.rounds)
+        assert tr.worst_case() <= 40 * (wi.n ** 0.5 + 40)
+        assert tr.node_averaged() <= tr.worst_case()
+        assert tr.total_rounds() == sum(tr.rounds)

@@ -1,0 +1,173 @@
+"""Tests for k-hierarchical labeling (Def. 63), weight-augmented 2½
+(Def. 67), and their solvers (Lemmas 65, 68, 69)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.labeling_solver import (
+    run_weight_augmented_solver,
+    solve_hierarchical_labeling,
+)
+from repro.constructions import (
+    build_lower_bound_graph,
+    build_weighted_construction,
+    random_tree,
+)
+from repro.lcl import (
+    HierarchicalLabeling,
+    SECONDARY_DECLINE,
+    WeightAugmented25,
+    label_order,
+)
+from repro.lcl.labeling import compress_label, is_compress, is_rake, rake_label
+from repro.local import balanced_tree, path_graph, random_ids
+
+
+class TestLabelOrder:
+    def test_order_chain(self):
+        # R1 < C1 < R2 < C2 < R3
+        seq = ["R1", "C1", "R2", "C2", "R3"]
+        assert [label_order(x) for x in seq] == sorted(label_order(x) for x in seq)
+
+    def test_predicates(self):
+        assert is_rake(rake_label(2)) and not is_compress(rake_label(2))
+        assert is_compress(compress_label(1))
+
+
+class TestLabelingChecker:
+    def test_single_node(self):
+        g = path_graph(1)
+        prob = HierarchicalLabeling(2)
+        assert prob.verify(g, [("R1", None)]).valid
+
+    def test_two_nodes_oriented(self):
+        g = path_graph(2)
+        prob = HierarchicalLabeling(2)
+        assert prob.verify(g, [("R1", 1), ("R1", None)]).valid
+        # rake edges must be oriented
+        assert not prob.verify(g, [("R1", None), ("R1", None)]).valid
+        # orientation cannot decrease labels
+        assert not prob.verify(g, [("R2", 1), ("R1", None)]).valid
+
+    def test_doubly_oriented_rejected(self):
+        g = path_graph(2)
+        prob = HierarchicalLabeling(2)
+        res = prob.verify(g, [("R1", 1), ("R1", 0)])
+        assert not res.valid
+
+    def test_compress_path_rules(self):
+        # R2 - C1 - C1 - C1 - R2: middle has two compress nbrs, no out
+        g = path_graph(5)
+        prob = HierarchicalLabeling(2)
+        out = [
+            ("R2", None),
+            ("C1", 0),
+            ("C1", None),
+            ("C1", 4),
+            ("R2", None),
+        ]
+        assert prob.verify(g, out).valid
+        # interior with two compress neighbours must not orient
+        bad = list(out)
+        bad[2] = ("C1", 1)
+        assert not prob.verify(g, bad).valid
+
+    def test_distinct_compress_labels_not_adjacent(self):
+        g = path_graph(2)
+        prob = HierarchicalLabeling(3)
+        res = prob.verify(g, [("C1", None), ("C2", None)])
+        assert not res.valid
+
+
+class TestLabelingSolver:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_valid_on_structured_trees(self, k):
+        for g in (
+            path_graph(150),
+            balanced_tree(3, 5),
+            build_lower_bound_graph([8, 12]).graph,
+        ):
+            sol = solve_hierarchical_labeling(g, k)
+            res = HierarchicalLabeling(k).verify(g, sol.as_outputs(g.n))
+            assert res.valid, res.violations[:4]
+
+    def test_valid_on_random_trees(self):
+        for seed in range(8):
+            rng = random.Random(seed)
+            g = random_tree(rng.randint(2, 250), 4, rng)
+            sol = solve_hierarchical_labeling(g, 3)
+            assert HierarchicalLabeling(3).verify(g, sol.as_outputs(g.n)).valid
+
+    def test_pinned_root_is_sink(self):
+        g = balanced_tree(3, 4)
+        sol = solve_hierarchical_labeling(g, 2, pinned=[0])
+        assert sol.out[0] is None
+        # everything eventually points toward the root through the forest
+        reached = {0}
+        changed = True
+        while changed:
+            changed = False
+            for v in g.nodes():
+                if v not in reached and sol.out[v] in reached:
+                    reached.add(v)
+                    changed = True
+        assert len(reached) > g.n // 2
+
+    def test_worst_case_rounds_scale(self):
+        # Lemma 65: O(n^{1/k}) rounds; k=2 on a path should beat k=1
+        g = path_graph(900)
+        t2 = max(solve_hierarchical_labeling(g, 2).times.values())
+        assert t2 < 300  # far below n
+
+
+class TestWeightAugmented:
+    def _instance(self, weight_per_level=150):
+        return build_weighted_construction([6, 10], 5, weight_per_level)
+
+    def test_solver_valid(self):
+        wi = self._instance()
+        ids = random_ids(wi.n, rng=random.Random(2))
+        tr = run_weight_augmented_solver(wi.graph, ids, 2)
+        res = WeightAugmented25(2).verify(wi.graph, tr.outputs)
+        assert res.valid, res.violations[:6]
+
+    def test_lemma68_copy_fraction(self):
+        # Omega(w) of each tree's weight nodes carry the active output
+        wi = self._instance(weight_per_level=400)
+        ids = random_ids(wi.n, rng=random.Random(3))
+        tr = run_weight_augmented_solver(wi.graph, ids, 2)
+        copying = declining = 0
+        for a, tree in wi.tree_of.items():
+            for w in tree:
+                if tr.outputs[w][2] == SECONDARY_DECLINE:
+                    declining += 1
+                else:
+                    copying += 1
+        assert copying > 0
+        # Lemma 68: all but a O(1/(delta-1)) fraction copy
+        assert copying / (copying + declining) > 0.5
+
+    def test_secondary_matches_active(self):
+        wi = self._instance()
+        ids = random_ids(wi.n, rng=random.Random(4))
+        tr = run_weight_augmented_solver(wi.graph, ids, 2)
+        for a, tree in wi.tree_of.items():
+            root = [w for w in tree if a in wi.graph.neighbors(w)]
+            for r in root:
+                assert tr.outputs[r][2] == tr.outputs[a]
+
+    def test_checker_rejects_wrong_secondary(self):
+        wi = self._instance()
+        ids = random_ids(wi.n, rng=random.Random(5))
+        tr = run_weight_augmented_solver(wi.graph, ids, 2)
+        prob = WeightAugmented25(2)
+        assert prob.verify(wi.graph, tr.outputs).valid
+        # corrupt one root's secondary
+        a, tree = next(iter(wi.tree_of.items()))
+        root = next(w for w in tree if a in wi.graph.neighbors(w))
+        bad = list(tr.outputs)
+        lab, out, sec = bad[root]
+        wrong = "W" if sec != "W" else "B"
+        bad[root] = (lab, out, wrong)
+        assert not prob.verify(wi.graph, bad).valid

@@ -1,0 +1,165 @@
+"""Tests for the landscape formulas (Lemmas 33, 36, 57, 58, 61, 62;
+Theorems 1, 6)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    alpha1_logstar,
+    alpha1_poly,
+    alpha_vector_logstar,
+    alpha_vector_poly,
+    efficiency_factor,
+    efficiency_factor_relaxed,
+    find_logstar_problem,
+    find_poly_problem,
+    fit_power_law,
+    invert_alpha1,
+    landscape_regions,
+    log_star,
+    log_star_float,
+    params_for_rational_x,
+)
+
+
+class TestEfficiencyFactor:
+    def test_lemma23_formula(self):
+        # delta=5, d=2: x = log(2)/log(4) = 1/2
+        assert efficiency_factor(5, 2) == pytest.approx(0.5)
+
+    def test_relaxed_is_larger(self):
+        for delta, d in [(5, 2), (9, 4), (17, 8), (33, 28)]:
+            assert efficiency_factor_relaxed(delta, d) > efficiency_factor(delta, d)
+
+    def test_requires_delta_ge_d_plus_3(self):
+        with pytest.raises(ValueError):
+            efficiency_factor(4, 2)
+
+
+class TestAlphaFormulas:
+    def test_poly_endpoints(self):
+        # Lemma 57: alpha1 ranges over [1/(2^k - 1), 1/k]
+        for k in range(1, 8):
+            assert alpha1_poly(0.0, k) == pytest.approx(1 / (2**k - 1))
+            assert alpha1_poly(1.0, k) == pytest.approx(1 / k)
+
+    def test_logstar_endpoints(self):
+        # the formula gives [1/2^{k-1}, 1]; at x=0 it matches Theorem 11's
+        # unweighted exponent
+        for k in range(1, 8):
+            assert alpha1_logstar(0.0, k) == pytest.approx(1 / 2 ** (k - 1))
+            assert alpha1_logstar(1.0, k) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0, max_value=1), st.integers(min_value=1, max_value=6))
+    def test_poly_monotone(self, x, k):
+        eps = 1e-6
+        if x + eps <= 1:
+            assert alpha1_poly(x, k) <= alpha1_poly(x + eps, k) + 1e-12
+
+    def test_alpha_vector_recurrence(self):
+        # Lemma 33: alpha_i = (2 - x) alpha_{i-1}
+        x = 0.4
+        vec = alpha_vector_poly(x, 4)
+        assert len(vec) == 3
+        for a, b in zip(vec, vec[1:]):
+            assert b == pytest.approx((2 - x) * a)
+
+    def test_alpha_vector_sums_match_bk(self):
+        # B_k = 1 + (x-2) sum alpha_j must equal alpha_1 at the optimum
+        x, k = 0.3, 3
+        vec = alpha_vector_poly(x, k)
+        bk = 1 + (x - 2) * sum(vec)
+        assert bk == pytest.approx(vec[0])
+
+    def test_logstar_vector_bk(self):
+        # log* regime: B_k = 1 + (x-1) sum alpha_j = alpha_1
+        x, k = 0.3, 3
+        vec = alpha_vector_logstar(x, k)
+        bk = 1 + (x - 1) * sum(vec)
+        assert bk == pytest.approx(vec[0])
+
+    def test_invert_roundtrip(self):
+        for k in (2, 3, 4):
+            for x in (0.1, 0.5, 0.9):
+                target = alpha1_poly(x, k)
+                assert invert_alpha1(target, k, "poly") == pytest.approx(x, abs=1e-6)
+
+    def test_invert_out_of_range(self):
+        with pytest.raises(ValueError):
+            invert_alpha1(0.9, 2, "poly")  # poly k=2 tops out at 1/2
+
+
+class TestParamSearch:
+    def test_rational_x_exact(self):
+        # Lemma 58's construction: x = p/q exactly
+        delta, d = params_for_rational_x(1, 3)
+        assert efficiency_factor(delta, d) == pytest.approx(1 / 3)
+        delta, d = params_for_rational_x(2, 5, scale=2)
+        assert efficiency_factor(delta, d) == pytest.approx(2 / 5)
+
+    def test_theorem1_window(self):
+        for r1, r2 in [(0.05, 0.08), (0.21, 0.24), (0.34, 0.4), (0.45, 0.5)]:
+            p = find_poly_problem(r1, r2)
+            assert r1 <= p.exponent_lower <= r2
+            assert p.exponent_lower == p.exponent_upper
+            assert p.delta >= p.d + 3
+
+    def test_theorem6_window_and_gap(self):
+        for r1, r2, eps in [(0.3, 0.5, 0.05), (0.6, 0.8, 0.02), (0.52, 0.9, 0.1)]:
+            p = find_logstar_problem(r1, r2, eps)
+            assert r1 <= p.exponent_lower <= r2 + eps
+            assert p.exponent_upper - p.exponent_lower < eps
+            assert p.delta >= p.d + 3
+
+    def test_lemma62_scaling_shrinks_gap(self):
+        gaps = []
+        for scale in (1, 2, 4):
+            delta, d = params_for_rational_x(1, 2, scale)
+            gaps.append(
+                efficiency_factor_relaxed(delta, d) - efficiency_factor(delta, d)
+            )
+        assert gaps[0] > gaps[1] > gaps[2]
+
+    def test_poly_bad_window(self):
+        with pytest.raises(ValueError):
+            find_poly_problem(0.6, 0.7)
+
+
+class TestLandscapeRegions:
+    def test_after_has_gaps_and_density(self):
+        regions = landscape_regions(after=True)
+        kinds = [r.kind for r in regions]
+        assert kinds.count("gap") == 3
+        assert kinds.count("dense") == 2
+
+    def test_before_smaller(self):
+        assert len(landscape_regions(after=False)) < len(landscape_regions(True))
+
+
+class TestMathUtil:
+    def test_log_star_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2**65536) == 5
+
+    def test_log_star_float_monotone(self):
+        xs = [2, 10, 100, 10**4, 10**8]
+        vals = [log_star_float(x) for x in xs]
+        assert vals == sorted(vals)
+        assert all(abs(log_star_float(x) - log_star(x)) <= 1.0 for x in xs)
+
+    def test_fit_power_law(self):
+        xs = [10, 100, 1000]
+        ys = [3 * x**0.7 for x in xs]
+        alpha, c = fit_power_law(xs, ys)
+        assert alpha == pytest.approx(0.7)
+        assert c == pytest.approx(3.0)
+
+    def test_fit_requires_variation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([5, 5], [1, 2])

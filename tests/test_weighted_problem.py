@@ -1,0 +1,140 @@
+"""Tests for Pi^Z_{Delta,d,k} (Definition 22): checker and A_poly solver."""
+
+import random
+
+import pytest
+
+from repro.algorithms.weighted25 import apoly_gammas, run_a35, run_apoly
+from repro.analysis import alpha_vector_poly, efficiency_factor
+from repro.constructions import build_weighted_construction
+from repro.constructions.lowerbound import paper_lengths
+from repro.lcl import (
+    ACTIVE,
+    WEIGHT,
+    Weighted25,
+    Weighted35,
+    connect,
+    copy_of,
+    decline,
+)
+from repro.lcl.hierarchical import B, D, W
+from repro.local import Graph, path_graph, random_ids
+
+
+def tiny_instance():
+    """active - weight - weight path."""
+    return path_graph(3).with_inputs([ACTIVE, WEIGHT, WEIGHT])
+
+
+class TestCheckerProperties:
+    def setup_method(self):
+        self.prob = Weighted25(5, 2, 1)
+
+    def test_valid_copy_chain(self):
+        g = tiny_instance()
+        # active solves 1-hierarchical 2.5 alone on a path: level 1, W ok
+        out = [W, copy_of(W), copy_of(W)]
+        assert self.prob.verify(g, out).valid
+
+    def test_property2_weight_next_to_active_cannot_decline(self):
+        g = tiny_instance()
+        out = [W, decline(), decline()]
+        res = self.prob.verify(g, out)
+        assert not res.valid
+        assert any("P2" in v.rule for v in res.violations)
+
+    def test_property3_connect_needs_support(self):
+        g = tiny_instance()
+        out = [W, connect(), decline()]
+        res = self.prob.verify(g, out)
+        assert any("P3" in v.rule for v in res.violations)
+
+    def test_property4_copy_decline_budget(self):
+        prob = Weighted25(6, 1, 1)
+        g = Graph(
+            4, [(0, 1), (1, 2), (1, 3)],
+            [ACTIVE, WEIGHT, WEIGHT, WEIGHT],
+        )
+        out = [W, copy_of(W), decline(), decline()]
+        res = prob.verify(g, out)
+        assert any("P4" in v.rule for v in res.violations)
+
+    def test_property5_secondary_must_match_active(self):
+        g = tiny_instance()
+        out = [W, copy_of(B), copy_of(B)]
+        res = self.prob.verify(g, out)
+        assert any("P5" in v.rule for v in res.violations)
+
+    def test_property5_adjacent_copies_agree(self):
+        g = path_graph(4).with_inputs([ACTIVE, WEIGHT, WEIGHT, WEIGHT])
+        out = [W, copy_of(W), copy_of(B), decline()]
+        res = self.prob.verify(g, out)
+        assert any("P5" in v.rule for v in res.violations)
+
+    def test_connect_bridge_between_actives(self):
+        g = path_graph(4).with_inputs([ACTIVE, WEIGHT, WEIGHT, ACTIVE])
+        out = [W, connect(), connect(), B]
+        assert self.prob.verify(g, out).valid
+
+    def test_alphabet_guard(self):
+        g = tiny_instance()
+        res = self.prob.verify(g, [W, "Copy", decline()])
+        assert not res.valid
+
+    def test_requires_delta_ge_d_plus_3(self):
+        with pytest.raises(ValueError):
+            Weighted25(4, 2, 1)
+
+
+class TestApolyEndToEnd:
+    @pytest.mark.parametrize("delta,d,k", [(5, 2, 2), (6, 3, 2), (5, 2, 3)])
+    def test_valid_on_paper_construction(self, delta, d, k):
+        x = efficiency_factor(delta, d)
+        lengths = paper_lengths(400, alpha_vector_poly(x, k))
+        wi = build_weighted_construction(lengths, delta, weight_per_level=300)
+        ids = random_ids(wi.n, rng=random.Random(delta * 10 + k))
+        tr = run_apoly(wi.graph, ids, delta, d, k)
+        res = Weighted25(delta, d, k).verify(wi.graph, tr.outputs)
+        assert res.valid, res.violations[:5]
+
+    def test_35_variant_valid(self):
+        delta, d, k = 6, 3, 2
+        lengths = paper_lengths(300, [0.5])
+        wi = build_weighted_construction(lengths, delta, weight_per_level=200)
+        ids = random_ids(wi.n, rng=random.Random(3))
+        tr = run_a35(wi.graph, ids, delta, d, k)
+        res = Weighted35(delta, d, k).verify(wi.graph, tr.outputs)
+        assert res.valid, res.violations[:5]
+
+    def test_copy_nodes_wait_for_active(self):
+        delta, d, k = 5, 2, 2
+        x = efficiency_factor(delta, d)
+        lengths = paper_lengths(300, alpha_vector_poly(x, k))
+        wi = build_weighted_construction(lengths, delta, weight_per_level=200)
+        ids = random_ids(wi.n, rng=random.Random(5))
+        tr = run_apoly(wi.graph, ids, delta, d, k)
+        # every Copy weight node terminates strictly after the active node
+        # whose output it carries became visible
+        for a, tree in wi.tree_of.items():
+            for w in tree:
+                out = tr.outputs[w]
+                if isinstance(out, tuple) and out[0] == "Copy":
+                    assert tr.rounds[w] > tr.rounds[a] or tr.rounds[w] >= tr.meta["dfree_rounds"]
+
+    def test_gammas_match_lemma33(self):
+        gam = apoly_gammas(10_000, 5, 2, 3, "poly")
+        x = efficiency_factor(5, 2)
+        vec = alpha_vector_poly(x, 3)
+        assert len(gam) == 2
+        assert gam[0] == max(2, round(10_000 ** vec[0]))
+
+    def test_all_weight_instance(self):
+        g = path_graph(6).with_inputs([WEIGHT] * 6)
+        tr = run_apoly(g, random_ids(6), 5, 2, 2)
+        assert all(o == decline() for o in tr.outputs)
+        assert Weighted25(5, 2, 2).verify(g, tr.outputs).valid
+
+    def test_all_active_instance(self):
+        g = path_graph(12).with_inputs([ACTIVE] * 12)
+        tr = run_apoly(g, random_ids(12), 5, 2, 2)
+        assert Weighted25(5, 2, 2).verify(g, tr.outputs).valid
