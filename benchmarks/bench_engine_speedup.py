@@ -1,0 +1,54 @@
+"""Engine speedup — incremental vs. reference execution engines.
+
+Micro-benchmark for the :mod:`repro.local.simulator` engine split: run
+Cole–Vishkin 3-coloring on ``path_graph(2000)`` under both engines and
+record wall-clock, per-engine, in ``benchmarks/results/``.  The two
+engines must produce identical ``(T_v, output)`` maps (also asserted by
+``tests/test_engine_equivalence.py``); the incremental engine is required
+to be at least 5x faster on this workload — in practice it is two orders
+of magnitude faster, because the reference engine re-derives every node's
+state from a freshly extracted ball every round while the incremental
+engine advances one shared execution.
+"""
+
+import random
+
+from harness import record_table, timed
+
+from repro.local import LocalSimulator, path_graph, random_ids
+from repro.algorithms import ColeVishkin3Coloring
+
+N = 2000
+MIN_SPEEDUP = 5.0
+
+
+def run_engine(engine: str, ids):
+    g = path_graph(N)
+    return LocalSimulator(engine=engine).run(g, ColeVishkin3Coloring(), ids)
+
+
+def test_engine_speedup(benchmark):
+    ids = random_ids(N, rng=random.Random(0))
+    traces = {"incremental": benchmark(run_engine, "incremental", ids)}
+    wall = {"incremental": benchmark.stats.stats.mean}
+    traces["reference"], wall["reference"] = timed(run_engine, "reference", ids)
+
+    rows = [
+        (engine, N, traces[engine].worst_case(),
+         f"{traces[engine].node_averaged():.2f}", f"{wall[engine]:.3f}")
+        for engine in ("incremental", "reference")
+    ]
+    speedup = wall["reference"] / wall["incremental"]
+    record_table(
+        "engine_speedup",
+        "Engine speedup: Cole-Vishkin 3-coloring on path_graph(2000)",
+        ["engine", "n", "worst", "avg", "wall_s"],
+        rows,
+        notes=[f"speedup: {speedup:.1f}x (reference / incremental)"],
+    )
+
+    assert traces["incremental"].rounds == traces["reference"].rounds
+    assert traces["incremental"].outputs == traces["reference"].outputs
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental engine only {speedup:.1f}x faster; need >= {MIN_SPEEDUP}x"
+    )

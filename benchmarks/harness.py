@@ -1,20 +1,34 @@
 """Shared benchmark harness: result tables, shape checks, persistence.
 
 Every bench regenerates one experiment from DESIGN.md's per-experiment
-index (E1..E17).  Results are printed and appended to
-``benchmarks/results/<exp_id>.txt`` so the paper-vs-measured record in
-EXPERIMENTS.md can be regenerated at any time.
+index (E1..E18).  Results are printed and written to
+``benchmarks/results/<exp_id>.txt`` — each run *overwrites* the previous
+file for its experiment, so the file always holds exactly one
+regeneration and the paper-vs-measured record in EXPERIMENTS.md can be
+rebuilt from the latest state at any time.
+
+Timing columns: benches that exercise the simulator should report which
+:mod:`repro.local.simulator` engine produced each row plus the measured
+wall-clock (see :func:`timed`), so speedups land in
+``benchmarks/results/`` next to the model-level numbers.
 """
 
 from __future__ import annotations
 
 import math
 import os
-from typing import Iterable, List, Sequence
+import time
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-__all__ = ["record_table", "format_table", "dfree_overhead", "adjusted_average"]
+__all__ = [
+    "record_table",
+    "format_table",
+    "timed",
+    "dfree_overhead",
+    "adjusted_average",
+]
 
 
 def format_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -30,14 +44,34 @@ def format_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) ->
     return "\n".join(lines)
 
 
-def record_table(exp_id: str, title: str, header: Sequence[str], rows) -> str:
-    """Print and persist one experiment table; returns the rendered text."""
+def record_table(
+    exp_id: str,
+    title: str,
+    header: Sequence[str],
+    rows,
+    notes: Optional[Sequence[str]] = None,
+) -> str:
+    """Print and persist one experiment table (overwriting the experiment's
+    previous results file); returns the rendered text.
+
+    ``notes`` are free-form footer lines (environment, engine, caveats)
+    appended below the table.
+    """
     text = format_table(title, header, rows)
+    if notes:
+        text += "\n" + "\n".join(notes)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{exp_id}.txt"), "w") as fh:
         fh.write(text + "\n")
     print("\n" + text)
     return text
+
+
+def timed(fn: Callable, *args, **kwargs) -> Tuple[object, float]:
+    """Run ``fn(*args, **kwargs)`` returning ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
 
 
 def dfree_overhead(n: int, d: int) -> int:

@@ -17,7 +17,7 @@ from repro.algorithms import (
     run_generic_fast_forward,
 )
 from repro.lcl import Coloring35
-from repro.local import LocalSimulator, MessageSimulator, path_graph, random_ids
+from repro.local import LocalSimulator, path_graph, random_ids
 from repro.constructions import build_lower_bound_graph
 
 
@@ -25,9 +25,12 @@ def main() -> None:
     rng = random.Random(0)
 
     # --- 1. 3-coloring a path: node-averaged ~ log* n ------------------
+    # LocalSimulator runs both formulations; message algorithms like
+    # Cole-Vishkin advance through one shared execution on the default
+    # incremental engine (engine="reference" is the cross-check oracle).
     g = path_graph(2000)
     ids = random_ids(g.n, rng=rng)
-    trace = MessageSimulator().run(g, ColeVishkin3Coloring(), ids)
+    trace = LocalSimulator().run(g, ColeVishkin3Coloring(), ids)
     print(f"Cole-Vishkin 3-coloring of a {g.n}-node path:")
     print(f"  node-averaged = {trace.node_averaged():.1f} rounds,"
           f" worst-case = {trace.worst_case()} rounds")
@@ -39,6 +42,12 @@ def main() -> None:
     print(f"Canonical 2-coloring of a {g2.n}-node path:")
     print(f"  node-averaged = {trace2.node_averaged():.1f} rounds,"
           f" worst-case = {trace2.worst_case()} rounds  (linear, Cor. 60)")
+
+    # --- 2b. sweeping ID assignments on one topology -------------------
+    samples = [random_ids(g2.n, rng=rng) for _ in range(5)]
+    batch = LocalSimulator().run_batch(g2, CanonicalTwoColoring(), samples)
+    avg = sum(t.node_averaged() for t in batch) / len(batch)
+    print(f"  run_batch over {len(batch)} ID samples: mean node-averaged = {avg:.1f}")
 
     # --- 3. the paper's 3.5-coloring on its lower-bound graph ----------
     k = 2

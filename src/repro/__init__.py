@@ -13,6 +13,12 @@ Quickstart::
     g = path_graph(1000)
     trace = LocalSimulator().run(g, ColeVishkin3Coloring(), random_ids(g.n))
     print(trace.node_averaged(), trace.worst_case())
+
+``LocalSimulator`` executes both algorithm formulations (view-based and
+message-passing) on a flat-CSR graph core.  It defaults to the fast
+incremental engine; pass ``engine="reference"`` for the
+recompute-everything-from-the-view oracle when cross-checking semantics,
+and use ``run_batch`` to sweep many ID assignments over one topology.
 """
 
 __version__ = "1.0.0"

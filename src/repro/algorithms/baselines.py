@@ -36,15 +36,24 @@ class WaitForWholeGraph(LocalAlgorithm):
         evaluated identically by every node once it sees the whole
         component."""
         self._solve = solve
-        self._cache = None
+        self._cache: dict = {}
+
+    def setup(self, graph: Graph, n: int) -> None:
+        # reset the per-execution memo so one instance can be reused
+        # across runs (e.g. LocalSimulator.run_batch)
+        self._cache = {}
 
     def decide(self, view: View, n: int):
         if len(view.nodes()) < n and not view.sees_whole_component():
             return CONTINUE
-        if self._cache is None:
+        # memoize per component (keyed by its smallest handle): every node
+        # of a component masks IDs outside it identically, but distinct
+        # components see distinct ID vectors and need their own solve
+        key = min(view.nodes())
+        if key not in self._cache:
             ids = [view.id_of(u) if view.contains(u) else 0 for u in range(n)]
-            self._cache = self._solve(view.graph, ids)
-        return self._cache[view.center]
+            self._cache[key] = self._solve(view.graph, ids)
+        return self._cache[key][view.center]
 
     def max_rounds_hint(self, n: int) -> int:
         return n + 2
@@ -78,6 +87,7 @@ def run_naive_weighted25(
             outputs[v] = tr.outputs[v]
 
     # flood every weight component from its active attachment points
+    indptr, indices = graph.adjacency()
     active_set = set(active)
     seen = set()
     for w in weight:
@@ -88,7 +98,8 @@ def run_naive_weighted25(
         stack = [w]
         while stack:
             u = stack.pop()
-            for x in graph.neighbors(u):
+            for i in range(indptr[u], indptr[u + 1]):
+                x = indices[i]
                 if x in weight and x not in seen:
                     seen.add(x)
                     comp.append(x)
@@ -96,7 +107,7 @@ def run_naive_weighted25(
         sources = [
             (u, a)
             for u in comp
-            for a in graph.neighbors(u)
+            for a in indices[indptr[u]:indptr[u + 1]]
             if a in active_set
         ]
         if not sources:
@@ -111,7 +122,8 @@ def run_naive_weighted25(
         queue = deque([src])
         while queue:
             u = queue.popleft()
-            for x in graph.neighbors(u):
+            for i in range(indptr[u], indptr[u + 1]):
+                x = indices[i]
                 if x in weight and x not in dist:
                     dist[x] = dist[u] + 1
                     queue.append(x)

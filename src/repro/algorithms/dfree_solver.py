@@ -118,6 +118,7 @@ def _mark_connect_paths(
 ) -> None:
     """Mark every node on a path of length <= max_len between two A-nodes."""
     a_set = set(a_nodes)
+    indptr, indices = graph.adjacency()
     for src in a_nodes:
         dist = {src: 0}
         parent: Dict[int, Optional[int]] = {src: None}
@@ -126,7 +127,8 @@ def _mark_connect_paths(
             u = queue.popleft()
             if dist[u] == max_len:
                 continue
-            for w in graph.neighbors(u):
+            for i in range(indptr[u], indptr[u + 1]):
+                w = indices[i]
                 if w not in dist:
                     dist[w] = dist[u] + 1
                     parent[w] = u

@@ -196,9 +196,10 @@ def _alive_level_paths(
     members = {v for v in graph.nodes() if alive[v] and levels[v] == i}
     paths: List[List[int]] = []
     seen: set = set()
+    indptr, indices = graph.adjacency()
 
     def same(v: int) -> List[int]:
-        return [w for w in graph.neighbors(v) if w in members]
+        return [w for w in indices[indptr[v]:indptr[v + 1]] if w in members]
 
     for v in sorted(members):
         if v in seen:
@@ -251,6 +252,7 @@ def _propagate_exempt(
     """Iterated E-assignment: an alive node of level ``2..k`` with a
     lower-level neighbour labeled ``W/B/E`` outputs ``E``; one step per
     round, at most ``k`` steps (levels strictly increase along chains)."""
+    indptr, indices = graph.adjacency()
     step = 0
     while True:
         newly = []
@@ -260,7 +262,8 @@ def _propagate_exempt(
             lv = levels[v]
             if lv < 2 or lv > k:
                 continue
-            for w in graph.neighbors(v):
+            for i in range(indptr[v], indptr[v + 1]):
+                w = indices[i]
                 if 0 < levels[w] < lv and outputs[w] in (W, B, E):
                     newly.append(v)
                     break

@@ -320,33 +320,25 @@ def two_coloring_fast_forward(
     colors = [0] * n
     rounds = [0] * n
     for comp in graph.connected_components():
-        comp_set = set(comp)
         root = min(comp, key=lambda v: ids[v])
-        dist_root = _component_bfs(graph, root, comp_set)
+        dist_root = _component_bfs(graph, root)
         whole = len(comp) == n
         for v in comp:
             colors[v] = dist_root[v] % 2
         # On a tree, ecc(v) = max distance to either end of a diameter
         # (two-sweep BFS), so all eccentricities come from three passes.
         a = max(dist_root, key=dist_root.get)
-        dist_a = _component_bfs(graph, a, comp_set)
+        dist_a = _component_bfs(graph, a)
         b = max(dist_a, key=dist_a.get)
-        dist_b = _component_bfs(graph, b, comp_set)
+        dist_b = _component_bfs(graph, b)
         for v in comp:
             ecc = max(dist_a[v], dist_b[v])
             rounds[v] = ecc if whole else ecc + 1
     return colors, rounds
 
 
-def _component_bfs(graph: Graph, source: int, comp: set) -> dict:
-    from collections import deque
-
-    dist = {source: 0}
-    queue = deque([source])
-    while queue:
-        u = queue.popleft()
-        for w in graph.neighbors(u):
-            if w in comp and w not in dist:
-                dist[w] = dist[u] + 1
-                queue.append(w)
-    return dist
+def _component_bfs(graph: Graph, source: int) -> dict:
+    """Distances within ``source``'s component (a BFS cannot leave it)."""
+    return {
+        w: r for r, layer in enumerate(graph.bfs_layers([source])) for w in layer
+    }

@@ -97,7 +97,9 @@ class HierarchicalColoring(LCLProblem):
         if lv == k + 1 and out != E:
             bad.append(Violation(v, "level-(k+1) node not labeled E", f"got {out}"))
 
-        lower = [w for w in graph.neighbors(v) if 0 < levels[w] < lv]
+        indptr, indices = graph.adjacency()
+        nbrs = indices[indptr[v]:indptr[v + 1]]
+        lower = [w for w in nbrs if 0 < levels[w] < lv]
         if 2 <= lv <= k:
             has_colored_lower = any(outputs[w] in (W, B, E) for w in lower)
             if (out == E) != has_colored_lower:
@@ -109,7 +111,7 @@ class HierarchicalColoring(LCLProblem):
                     )
                 )
 
-        same = [w for w in graph.neighbors(v) if levels[w] == lv]
+        same = [w for w in nbrs if levels[w] == lv]
         color_limit = k if self.variant == "2.5" else k - 1
         if out in (W, B):
             if lv > color_limit or lv > k:

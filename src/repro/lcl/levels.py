@@ -31,28 +31,33 @@ def compute_levels(graph: Graph, k: int, restrict: Optional[Iterable[int]] = Non
     """
     if k < 1:
         raise ValueError("k must be >= 1")
+    n = graph.n
+    indptr, indices = graph.adjacency()
     if restrict is None:
-        active = [True] * graph.n
+        active = bytearray([1]) * n
     else:
-        active = [False] * graph.n
+        active = bytearray(n)
         for v in restrict:
-            active[v] = True
+            active[v] = 1
 
-    level = [0] * graph.n
-    alive = [active[v] for v in graph.nodes()]
-    deg = [
-        sum(1 for w in graph.neighbors(v) if active[w]) if active[v] else 0
-        for v in graph.nodes()
-    ]
+    level = [0] * n
+    alive = bytearray(active)
+    deg = [0] * n
+    for v in range(n):
+        if active[v]:
+            deg[v] = sum(
+                1 for i in range(indptr[v], indptr[v + 1]) if active[indices[i]]
+            )
 
-    remaining = [v for v in graph.nodes() if active[v]]
+    remaining = [v for v in range(n) if active[v]]
     for i in range(1, k + 1):
         peel = [v for v in remaining if deg[v] <= 2]
         for v in peel:
             level[v] = i
-            alive[v] = False
+            alive[v] = 0
         for v in peel:
-            for w in graph.neighbors(v):
+            for j in range(indptr[v], indptr[v + 1]):
+                w = indices[j]
                 if alive[w]:
                     deg[w] -= 1
         remaining = [v for v in remaining if alive[v]]

@@ -147,7 +147,8 @@ class WeightedColoring(LCLProblem):
         bad: List[Violation] = []
         label = outputs[v]
         kind = primary(label)
-        nbrs = graph.neighbors(v)
+        indptr, indices = graph.adjacency()
+        nbrs = indices[indptr[v]:indptr[v + 1]]
         active_nbrs = [w for w in nbrs if graph.input_of(w) == ACTIVE]
 
         # Property 2

@@ -1,6 +1,6 @@
 """LOCAL model substrate: graphs, identifiers, views, simulator, metrics."""
 
-from .algorithm import CONTINUE, LocalAlgorithm, View
+from .algorithm import CONTINUE, BallStore, LocalAlgorithm, View
 from .graph import (
     Graph,
     balanced_tree,
@@ -10,12 +10,13 @@ from .graph import (
     to_networkx,
 )
 from .ids import id_space_size, random_ids, sequential_ids
-from .message import MessageAlgorithm, MessageSimulator, NodeInfo
+from .message import MessageAlgorithm, MessageSimulator, NodeInfo, run_message_dynamics
 from .metrics import ExecutionTrace, node_averaged, worst_case
-from .simulator import LocalSimulator, SimulationError
+from .simulator import ENGINES, LocalSimulator, SimulationError
 
 __all__ = [
     "CONTINUE",
+    "BallStore",
     "LocalAlgorithm",
     "View",
     "Graph",
@@ -30,9 +31,11 @@ __all__ = [
     "MessageAlgorithm",
     "MessageSimulator",
     "NodeInfo",
+    "run_message_dynamics",
     "ExecutionTrace",
     "node_averaged",
     "worst_case",
+    "ENGINES",
     "LocalSimulator",
     "SimulationError",
 ]

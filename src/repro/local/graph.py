@@ -1,14 +1,25 @@
 """Tree and graph substrate for the LOCAL model.
 
 The paper works on bounded-degree trees (and paths as a special case).  This
-module provides an immutable adjacency-list graph with:
+module provides an immutable graph stored in *compressed sparse row* (CSR)
+form with:
 
 * integer node handles ``0..n-1`` (distinct from the *identifiers* used by
   LOCAL algorithms, see :mod:`repro.local.ids`),
 * per-node input labels (the LCL input alphabet),
-* radius-``r`` ball extraction (the basic LOCAL primitive),
+* radius-``r`` ball extraction and layered BFS (the basic LOCAL primitives),
 * constructors for paths, stars, balanced trees and conversions from
   :mod:`networkx`.
+
+The CSR layout is a pair of flat integer arrays: ``indptr`` of length
+``n + 1`` and ``indices`` of length ``2m``, where the neighbours of node
+``v`` are ``indices[indptr[v]:indptr[v+1]]``.  Degrees and neighbour scans
+are O(1)/O(deg) slice operations with no per-node Python list overhead,
+which is what makes the incremental view engine in
+:mod:`repro.local.simulator` and the checker scans in :mod:`repro.lcl`
+cheap.  Neighbour order matches edge-insertion order (exactly the order the
+old adjacency-list build produced), so all BFS traversals are reproducible
+across the refactor.
 
 Everything downstream (the simulator, problem checkers, constructions) is
 built on :class:`Graph`.
@@ -16,7 +27,7 @@ built on :class:`Graph`.
 
 from __future__ import annotations
 
-from collections import deque
+from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -28,9 +39,13 @@ __all__ = [
     "to_networkx",
 ]
 
+#: array typecode for CSR arrays — signed 64-bit so node counts are never
+#: a constraint in practice.
+_CSR_TYPECODE = "q"
+
 
 class Graph:
-    """An undirected simple graph with adjacency lists and node inputs.
+    """An undirected simple graph in CSR form with per-node inputs.
 
     Parameters
     ----------
@@ -43,7 +58,7 @@ class Graph:
         for every node.
     """
 
-    __slots__ = ("_n", "_adj", "_inputs", "_m")
+    __slots__ = ("_n", "_m", "_indptr", "_indices", "_inputs")
 
     def __init__(
         self,
@@ -53,9 +68,9 @@ class Graph:
     ) -> None:
         if n < 0:
             raise ValueError("n must be non-negative")
-        adj: List[List[int]] = [[] for _ in range(n)]
+        edge_list: List[Tuple[int, int]] = []
         seen = set()
-        m = 0
+        degree = [0] * n
         for u, v in edges:
             if not (0 <= u < n and 0 <= v < n):
                 raise ValueError(f"edge ({u},{v}) out of range for n={n}")
@@ -65,18 +80,50 @@ class Graph:
             if key in seen:
                 raise ValueError(f"duplicate edge {key}")
             seen.add(key)
-            adj[u].append(v)
-            adj[v].append(u)
-            m += 1
+            edge_list.append((u, v))
+            degree[u] += 1
+            degree[v] += 1
+
+        indptr = array(_CSR_TYPECODE, [0] * (n + 1))
+        for v in range(n):
+            indptr[v + 1] = indptr[v] + degree[v]
+        indices = array(_CSR_TYPECODE, [0] * (2 * len(edge_list)))
+        cursor = list(indptr[:n])
+        for u, v in edge_list:
+            indices[cursor[u]] = v
+            cursor[u] += 1
+            indices[cursor[v]] = u
+            cursor[v] += 1
+
         self._n = n
-        self._adj = adj
-        self._m = m
+        self._m = len(edge_list)
+        self._indptr = indptr
+        self._indices = indices
         if inputs is None:
             self._inputs = [None] * n
         else:
             if len(inputs) != n:
                 raise ValueError("inputs length must equal n")
             self._inputs = list(inputs)
+
+    @classmethod
+    def _from_csr(
+        cls,
+        n: int,
+        m: int,
+        indptr: "array",
+        indices: "array",
+        inputs: Sequence,
+    ) -> "Graph":
+        """Share already-validated CSR arrays (graphs are immutable, so
+        aliasing them between instances is safe)."""
+        g = object.__new__(cls)
+        g._n = n
+        g._m = m
+        g._indptr = indptr
+        g._indices = indices
+        g._inputs = list(inputs)
+        return g
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -95,13 +142,27 @@ class Graph:
         return range(self._n)
 
     def neighbors(self, v: int) -> Tuple[int, ...]:
-        return tuple(self._adj[v])
+        indptr = self._indptr
+        return tuple(self._indices[indptr[v]:indptr[v + 1]])
+
+    def adjacency(self) -> Tuple["array", "array"]:
+        """The raw CSR pair ``(indptr, indices)``.
+
+        The neighbours of ``v`` are ``indices[indptr[v]:indptr[v+1]]``.
+        This is the fast primitive for radius-``r`` checker scans and
+        fast-forward executors; callers must treat both arrays as
+        read-only.
+        """
+        return self._indptr, self._indices
 
     def degree(self, v: int) -> int:
-        return len(self._adj[v])
+        return self._indptr[v + 1] - self._indptr[v]
 
     def max_degree(self) -> int:
-        return max((len(a) for a in self._adj), default=0)
+        indptr = self._indptr
+        return max(
+            (indptr[v + 1] - indptr[v] for v in range(self._n)), default=0
+        )
 
     def input_of(self, v: int):
         return self._inputs[v]
@@ -110,14 +171,20 @@ class Graph:
         return list(self._inputs)
 
     def edges(self) -> Iterator[Tuple[int, int]]:
+        indptr, indices = self._indptr, self._indices
         for u in range(self._n):
-            for v in self._adj[u]:
+            for i in range(indptr[u], indptr[u + 1]):
+                v = indices[i]
                 if u < v:
                     yield (u, v)
 
     def with_inputs(self, inputs: Sequence) -> "Graph":
         """Return a copy of this graph with different input labels."""
-        return Graph(self._n, list(self.edges()), inputs)
+        if len(inputs) != self._n:
+            raise ValueError("inputs length must equal n")
+        return Graph._from_csr(
+            self._n, self._m, self._indptr, self._indices, inputs
+        )
 
     # ------------------------------------------------------------------
     # structure
@@ -137,36 +204,29 @@ class Graph:
     def is_connected(self) -> bool:
         if self._n == 0:
             return False
-        seen = self._bfs_reach(0)
-        return len(seen) == self._n
-
-    def _bfs_reach(self, start: int) -> set:
-        seen = {start}
-        queue = deque([start])
-        while queue:
-            u = queue.popleft()
-            for w in self._adj[u]:
-                if w not in seen:
-                    seen.add(w)
-                    queue.append(w)
-        return seen
+        reached = 0
+        for layer in self.bfs_layers([0]):
+            reached += len(layer)
+        return reached == self._n
 
     def connected_components(self) -> List[List[int]]:
-        seen = [False] * self._n
+        indptr, indices = self._indptr, self._indices
+        seen = bytearray(self._n)
         comps: List[List[int]] = []
         for s in range(self._n):
             if seen[s]:
                 continue
             comp = [s]
-            seen[s] = True
-            queue = deque([s])
-            while queue:
-                u = queue.popleft()
-                for w in self._adj[u]:
+            seen[s] = 1
+            head = 0
+            while head < len(comp):
+                u = comp[head]
+                head += 1
+                for i in range(indptr[u], indptr[u + 1]):
+                    w = indices[i]
                     if not seen[w]:
-                        seen[w] = True
+                        seen[w] = 1
                         comp.append(w)
-                        queue.append(w)
             comps.append(comp)
         return comps
 
@@ -176,46 +236,65 @@ class Graph:
     def ball(self, v: int, radius: int) -> Dict[int, int]:
         """Return ``{node: distance}`` for all nodes within ``radius`` of v."""
         dist = {v: 0}
-        queue = deque([v])
-        while queue:
-            u = queue.popleft()
-            du = dist[u]
-            if du == radius:
-                continue
-            for w in self._adj[u]:
-                if w not in dist:
-                    dist[w] = du + 1
-                    queue.append(w)
+        for r, layer in enumerate(self.bfs_layers([v])):
+            if r > 0:
+                for w in layer:
+                    dist[w] = r
+            # break after *consuming* layer ``radius`` so the generator
+            # never scans the frontier's edges for the layer beyond it
+            if r == radius:
+                break
         return dist
+
+    def bfs_layers(self, sources: Iterable[int]) -> Iterator[List[int]]:
+        """Yield BFS layers from ``sources``: layer 0 is the (deduplicated)
+        sources, layer ``r`` the nodes at distance exactly ``r``.
+
+        Stops after the last non-empty layer.  This is the growth primitive
+        behind :class:`repro.local.algorithm.BallStore`: one layer per
+        LOCAL round.
+        """
+        indptr, indices = self._indptr, self._indices
+        seen = {}
+        layer: List[int] = []
+        for s in sources:
+            if s not in seen:
+                seen[s] = True
+                layer.append(s)
+        while layer:
+            yield layer
+            nxt: List[int] = []
+            for u in layer:
+                for i in range(indptr[u], indptr[u + 1]):
+                    w = indices[i]
+                    if w not in seen:
+                        seen[w] = True
+                        nxt.append(w)
+            layer = nxt
 
     def bfs_distances(self, sources: Iterable[int]) -> List[Optional[int]]:
         """Multi-source BFS distance from ``sources`` to every node."""
         dist: List[Optional[int]] = [None] * self._n
-        queue = deque()
-        for s in sources:
-            if dist[s] is None:
-                dist[s] = 0
-                queue.append(s)
-        while queue:
-            u = queue.popleft()
-            for w in self._adj[u]:
-                if dist[w] is None:
-                    dist[w] = dist[u] + 1
-                    queue.append(w)
+        for r, layer in enumerate(self.bfs_layers(sources)):
+            for w in layer:
+                dist[w] = r
         return dist
 
     def eccentricity(self, v: int) -> int:
-        dist = self.bfs_distances([v])
-        return max(d for d in dist if d is not None)
+        ecc = 0
+        for r, _layer in enumerate(self.bfs_layers([v])):
+            ecc = r
+        return ecc
 
     def induced_subgraph(self, nodes: Iterable[int]) -> Tuple["Graph", Dict[int, int]]:
         """Induced subgraph; returns (subgraph, old->new node map)."""
         nodes = sorted(set(nodes))
         remap = {old: new for new, old in enumerate(nodes)}
+        indptr, indices = self._indptr, self._indices
         edges = [
             (remap[u], remap[v])
             for u in nodes
-            for v in self._adj[u]
+            for v in indices[indptr[u]:indptr[u + 1]]
             if u < v and v in remap
         ]
         inputs = [self._inputs[old] for old in nodes]

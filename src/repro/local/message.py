@@ -24,7 +24,12 @@ from .ids import sequential_ids, validate_ids
 from .metrics import ExecutionTrace
 from .simulator import SimulationError
 
-__all__ = ["MessageAlgorithm", "MessageSimulator", "NodeInfo"]
+__all__ = [
+    "MessageAlgorithm",
+    "MessageSimulator",
+    "NodeInfo",
+    "run_message_dynamics",
+]
 
 
 class NodeInfo:
@@ -74,6 +79,64 @@ class MessageAlgorithm:
         return 4 * n + 64
 
 
+def run_message_dynamics(
+    graph: Graph,
+    algorithm: MessageAlgorithm,
+    id_list: Sequence[int],
+    budget: int,
+    neighbor_lists: Optional[List[Tuple[int, ...]]] = None,
+) -> Tuple[List[Optional[int]], List]:
+    """Advance the global message state machine until every node commits.
+
+    The shared core of :class:`MessageSimulator` and the incremental
+    message engine of :class:`repro.local.simulator.LocalSimulator`.
+    Assumes ``algorithm.setup`` has already run and the IDs are valid;
+    returns ``(commit_round, outputs)`` or raises :class:`SimulationError`
+    past ``budget`` rounds.  ``neighbor_lists`` lets batched callers
+    reuse the per-node adjacency tuples across runs.
+    """
+    n = graph.n
+    if neighbor_lists is None:
+        neighbor_lists = [graph.neighbors(v) for v in graph.nodes()]
+    states = [
+        algorithm.init_state(
+            NodeInfo(v, id_list[v], graph.degree(v), graph.input_of(v),
+                     neighbor_lists[v]),
+            n,
+        )
+        for v in graph.nodes()
+    ]
+    commit_round: List[Optional[int]] = [None] * n
+    outputs: List = [None] * n
+    live = set(range(n))
+
+    t = 0
+    while live:
+        if t > budget:
+            raise SimulationError(
+                f"{algorithm.name}: exceeded round budget {budget} "
+                f"with {len(live)} nodes still running"
+            )
+        for v in list(live):
+            decision = algorithm.decide(states[v], t)
+            if decision is not CONTINUE:
+                commit_round[v] = t
+                outputs[v] = decision
+                live.discard(v)
+        if not live:
+            break
+        msgs = [algorithm.message(states[v], t) for v in graph.nodes()]
+        states = [
+            algorithm.transition(
+                states[v], [msgs[w] for w in neighbor_lists[v]], t
+            )
+            for v in graph.nodes()
+        ]
+        t += 1
+
+    return commit_round, outputs
+
+
 class MessageSimulator:
     """Execute a :class:`MessageAlgorithm`; same accounting as the view
     simulator."""
@@ -100,43 +163,9 @@ class MessageSimulator:
         if budget is None:
             budget = algorithm.max_rounds_hint(n)
 
-        neighbor_lists = [graph.neighbors(v) for v in graph.nodes()]
-        states = [
-            algorithm.init_state(
-                NodeInfo(v, id_list[v], graph.degree(v), graph.input_of(v),
-                         neighbor_lists[v]),
-                n,
-            )
-            for v in graph.nodes()
-        ]
-        commit_round: List[Optional[int]] = [None] * n
-        outputs: List = [None] * n
-        live = set(range(n))
-
-        t = 0
-        while live:
-            if t > budget:
-                raise SimulationError(
-                    f"{algorithm.name}: exceeded round budget {budget} "
-                    f"with {len(live)} nodes still running"
-                )
-            for v in list(live):
-                decision = algorithm.decide(states[v], t)
-                if decision is not CONTINUE:
-                    commit_round[v] = t
-                    outputs[v] = decision
-                    live.discard(v)
-            if not live:
-                break
-            msgs = [algorithm.message(states[v], t) for v in graph.nodes()]
-            states = [
-                algorithm.transition(
-                    states[v], [msgs[w] for w in neighbor_lists[v]], t
-                )
-                for v in graph.nodes()
-            ]
-            t += 1
-
+        commit_round, outputs = run_message_dynamics(
+            graph, algorithm, id_list, budget
+        )
         return ExecutionTrace(
             rounds=[r for r in commit_round],  # type: ignore[list-item]
             outputs=outputs,

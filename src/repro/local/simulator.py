@@ -1,4 +1,4 @@
-"""Synchronous LOCAL-model simulator (full-information formulation).
+"""Synchronous LOCAL-model simulator with pluggable execution engines.
 
 Rounds proceed ``t = 0, 1, 2, ...``.  In round ``t`` every node that has not
 yet committed is handed its radius-``t`` view (see
@@ -7,8 +7,30 @@ within a round are simultaneous: a commit at round ``t`` is visible to a node
 at distance ``delta`` only from round ``t + delta`` on.  ``T_v`` is the round
 at which ``v`` commits.
 
-This is the *reference* executor: exact LOCAL semantics, no shortcuts.  The
-structured algorithms in :mod:`repro.algorithms` additionally ship
+Engines
+-------
+:class:`LocalSimulator` accepts ``engine="incremental"`` (the default) or
+``engine="reference"``.  Both produce identical ``(T_v, output)`` maps —
+``tests/test_engine_equivalence.py`` asserts this over a corpus of graphs,
+algorithms and ID assignments — but they trade transparency for speed:
+
+* ``reference`` — the executable definition of the model.  Every round,
+  every live node's radius-``t`` ball is re-extracted from scratch and (for
+  message-passing algorithms) the node's state is re-derived by simulating
+  the message dynamics *inside the ball only*, restricted to the causal
+  cone.  No state is carried between rounds, so nothing can leak: this is
+  the oracle to cross-check against whenever engine behaviour is in doubt,
+  and the right engine for new-algorithm debugging.  Cost:
+  Θ(Σ_t live_t · |ball_t|) and worse — effectively cubic on paths.
+* ``incremental`` — the production engine.  Each live node owns a
+  :class:`repro.local.algorithm.BallStore` that grows by exactly one BFS
+  frontier layer per round (amortized O(edges in the final ball) per node),
+  and views become thin windows over the store.  Message-passing algorithms
+  are advanced through one shared global execution of their state machine —
+  the standard equivalence between the message-passing and full-information
+  formulations, exploited instead of re-derived per node.
+
+The structured algorithms in :mod:`repro.algorithms` additionally ship
 "fast-forward" executors that compute the same ``(T_v, output)`` map
 centrally for large-``n`` benchmarking; tests assert they agree with this
 simulator.
@@ -16,14 +38,17 @@ simulator.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from .algorithm import CONTINUE, LocalAlgorithm, View
+from .algorithm import CONTINUE, BallStore, LocalAlgorithm, View
 from .graph import Graph
 from .ids import sequential_ids, validate_ids
 from .metrics import ExecutionTrace
 
-__all__ = ["LocalSimulator", "SimulationError"]
+__all__ = ["LocalSimulator", "SimulationError", "ENGINES"]
+
+#: Recognised engine names, fastest first.
+ENGINES = ("incremental", "reference")
 
 
 class SimulationError(RuntimeError):
@@ -31,17 +56,87 @@ class SimulationError(RuntimeError):
 
 
 class LocalSimulator:
-    """Execute a :class:`LocalAlgorithm` on a graph with given IDs."""
+    """Execute a LOCAL algorithm on a graph with given IDs.
 
-    def __init__(self, max_rounds: Optional[int] = None) -> None:
+    Accepts both algorithm formulations: a view-based
+    :class:`~repro.local.algorithm.LocalAlgorithm` or a message-passing
+    :class:`~repro.local.message.MessageAlgorithm` (the two are equivalent
+    in the LOCAL model, and this simulator is the single entry point for
+    either).
+
+    Engine contract
+    ---------------
+    ``engine="incremental"`` and ``engine="reference"`` must be
+    observationally identical: same ``(T_v, output)`` maps, same view
+    contents (including dict iteration order of ``View.nodes()``), same
+    ``SimulationError`` behaviour.  The incremental engine carries state
+    across rounds (ball stores, global message execution) purely as a
+    cache of what the reference engine would recompute.  Use
+    ``reference`` as the cross-check oracle whenever an algorithm misuses
+    the view API (e.g. retains views across rounds) or when validating a
+    new engine/algorithm pairing; use ``incremental`` everywhere else —
+    benchmarks at production sizes are only feasible on it.
+    """
+
+    def __init__(
+        self, max_rounds: Optional[int] = None, engine: str = "incremental"
+    ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self._max_rounds = max_rounds
+        self.engine = engine
 
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
     def run(
         self,
         graph: Graph,
-        algorithm: LocalAlgorithm,
+        algorithm,
         ids: Optional[Sequence[int]] = None,
     ) -> ExecutionTrace:
+        """Execute ``algorithm`` once and return its :class:`ExecutionTrace`."""
+        return self._run(graph, algorithm, ids, atlas=None)
+
+    def run_batch(
+        self,
+        graph: Graph,
+        algorithm,
+        id_samples: Sequence[Sequence[int]],
+    ) -> List[ExecutionTrace]:
+        """Run ``algorithm`` on one graph under many ID assignments.
+
+        The common shape in ``benchmarks/`` and ``analysis``: fixed
+        topology, sampled IDs.  Topology-only setup is shared across the
+        batch: on the incremental engine, view algorithms reuse each
+        node's BFS layer decomposition (later runs fill their ball dicts
+        from cached layers instead of re-scanning edges) and message
+        algorithms reuse the per-node neighbour lists.  Per-run work that
+        depends on the IDs — the dynamics themselves, the dist fills —
+        is still paid per sample.  ``algorithm.setup`` is invoked per
+        run; algorithms must reset any per-execution caches there.
+        """
+        batch_cache: Dict = {}
+        return [
+            self._run(graph, algorithm, ids, atlas=batch_cache)
+            for ids in id_samples
+        ]
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        graph: Graph,
+        algorithm,
+        ids: Optional[Sequence[int]],
+        # shared per-batch topology cache: ("layers", v) -> BFS layers for
+        # node v (view engine), "neighbors" -> per-node adjacency tuples
+        # (message engine); None outside run_batch
+        atlas: Optional[Dict] = None,
+    ) -> ExecutionTrace:
+        from .message import MessageAlgorithm  # deferred: message.py imports us
+
         n = graph.n
         if n == 0:
             raise ValueError("cannot run on the empty graph")
@@ -55,35 +150,193 @@ class LocalSimulator:
         if budget is None:
             budget = algorithm.max_rounds_hint(n)
 
-        commit_round: List[Optional[int]] = [None] * n
-        outputs: List = [None] * n
-        live = set(range(n))
-
-        t = 0
-        while live:
-            if t > budget:
-                raise SimulationError(
-                    f"{algorithm.name}: exceeded round budget {budget} "
-                    f"with {len(live)} nodes still running"
-                )
-            decided = []
-            for v in live:
-                view = View(graph, v, t, id_list, commit_round, outputs)
-                decision = algorithm.decide(view, n)
-                if decision is not CONTINUE:
-                    decided.append((v, decision))
-            # Commits are simultaneous: apply after all decisions this round.
-            for v, label in decided:
-                commit_round[v] = t
-                outputs[v] = label
-                live.discard(v)
-            t += 1
+        if isinstance(algorithm, MessageAlgorithm):
+            if self.engine == "reference":
+                runner = _run_message_reference
+            else:
+                runner = _run_message_incremental
+        elif self.engine == "reference":
+            runner = _run_view_reference
+        else:
+            runner = _run_view_incremental
+        commit_round, outputs = runner(graph, algorithm, id_list, budget, atlas)
 
         rounds = [r for r in commit_round if r is not None]
         assert len(rounds) == n
         return ExecutionTrace(
-            rounds=list(rounds),
+            rounds=rounds,
             outputs=outputs,
             algorithm=algorithm.name,
-            meta={"ids": id_list},
+            meta={"ids": id_list, "engine": self.engine},
         )
+
+
+def _budget_check(algorithm, t: int, budget: int, live) -> None:
+    if t > budget:
+        raise SimulationError(
+            f"{algorithm.name}: exceeded round budget {budget} "
+            f"with {len(live)} nodes still running"
+        )
+
+
+# ----------------------------------------------------------------------
+# view-based engines
+# ----------------------------------------------------------------------
+def _apply_commits(decided, t, commit_round, outputs, live):
+    """Simultaneous commits: record them, then drop committed nodes from
+    the (sorted) live list — no per-round re-sort needed since commits
+    only ever remove."""
+    committed = set()
+    for v, label in decided:
+        commit_round[v] = t
+        outputs[v] = label
+        committed.add(v)
+    return [v for v in live if v not in committed]
+
+
+def _run_view_reference(graph, algorithm, id_list, budget, atlas):
+    """Exact recompute-every-round semantics: every live node's ball is
+    re-extracted from scratch each round.  The cross-check oracle."""
+    n = graph.n
+    commit_round: List[Optional[int]] = [None] * n
+    outputs: List = [None] * n
+    live = list(range(n))
+
+    t = 0
+    while live:
+        _budget_check(algorithm, t, budget, live)
+        decided = []
+        for v in live:
+            view = View(graph, v, t, id_list, commit_round, outputs)
+            decision = algorithm.decide(view, n)
+            if decision is not CONTINUE:
+                decided.append((v, decision))
+        if decided:
+            live = _apply_commits(decided, t, commit_round, outputs, live)
+        t += 1
+    return commit_round, outputs
+
+
+def _run_view_incremental(graph, algorithm, id_list, budget, atlas):
+    """Grow each live node's ball by one BFS layer per round; views are
+    thin windows over the per-node :class:`BallStore`."""
+    n = graph.n
+    commit_round: List[Optional[int]] = [None] * n
+    outputs: List = [None] * n
+    live = list(range(n))
+    if atlas is None:
+        stores = {v: BallStore(graph, v) for v in range(n)}
+    else:
+        stores = {
+            v: BallStore(graph, v, layers=atlas.setdefault(("layers", v), [[v]]))
+            for v in range(n)
+        }
+
+    t = 0
+    while live:
+        _budget_check(algorithm, t, budget, live)
+        decided = []
+        for v in live:
+            store = stores[v]
+            store.grow_to(t)
+            view = View(graph, v, t, id_list, commit_round, outputs, store=store)
+            decision = algorithm.decide(view, n)
+            if decision is not CONTINUE:
+                decided.append((v, decision))
+        if decided:
+            live = _apply_commits(decided, t, commit_round, outputs, live)
+            for v, _label in decided:
+                del stores[v]
+        t += 1
+    return commit_round, outputs
+
+
+# ----------------------------------------------------------------------
+# message-passing engines
+# ----------------------------------------------------------------------
+def _run_message_incremental(graph, algorithm, id_list, budget, atlas):
+    """One shared global execution of the message state machine — the
+    full-information and message-passing formulations are equivalent, so
+    the engine advances the global dynamics instead of re-deriving each
+    node's state from its ball."""
+    from .message import run_message_dynamics
+
+    neighbor_lists = None
+    if atlas is not None:
+        neighbor_lists = atlas.get("neighbors")
+        if neighbor_lists is None:
+            neighbor_lists = [graph.neighbors(v) for v in graph.nodes()]
+            atlas["neighbors"] = neighbor_lists
+    return run_message_dynamics(
+        graph, algorithm, id_list, budget, neighbor_lists=neighbor_lists
+    )
+
+
+def _run_message_reference(graph, algorithm, id_list, budget, atlas):
+    """Full-information oracle for message algorithms: each round, each
+    live node's state is re-derived from its radius-``t`` ball alone by
+    simulating the message dynamics inside the ball, restricted to the
+    causal cone (a node at distance ``d`` is advanced only through round
+    ``t - d``, exactly the prefix its messages can influence the centre
+    by round ``t``)."""
+    n = graph.n
+    commit_round: List[Optional[int]] = [None] * n
+    outputs: List = [None] * n
+    live = list(range(n))
+
+    t = 0
+    while live:
+        _budget_check(algorithm, t, budget, live)
+        decided = []
+        for v in live:
+            dist = graph.ball(v, t)
+            decision = _message_decision_from_ball(
+                graph, algorithm, id_list, n, v, t, dist
+            )
+            if decision is not CONTINUE:
+                decided.append((v, decision))
+        if decided:
+            live = _apply_commits(decided, t, commit_round, outputs, live)
+        t += 1
+    return commit_round, outputs
+
+
+def _message_decision_from_ball(graph, algorithm, id_list, n, center, t, dist):
+    """Re-derive ``center``'s round-``t`` decision from its ball.
+
+    Nodes at distance ``d`` contribute exactly their first ``t - d``
+    state-machine rounds (their later states cannot causally reach the
+    centre).  Every node gets its true ``NodeInfo`` — a frontier node's
+    round-0 broadcast encodes its full local knowledge in the message
+    model, so truncating its neighbour list would diverge from the
+    global dynamics.  Frontier nodes never *receive* under the causal
+    cone (a node at distance ``d`` is only transitioned through round
+    ``t - d``, and ``d = t`` means zero transitions), and every
+    transitioned node's neighbours lie inside the ball, so all incoming
+    message lists are complete and correctly aligned.
+    """
+    from .message import NodeInfo
+
+    members = list(dist)
+    neighbor_lists = {u: graph.neighbors(u) for u in members}
+    states = {
+        u: algorithm.init_state(
+            NodeInfo(u, id_list[u], graph.degree(u), graph.input_of(u),
+                     neighbor_lists[u]),
+            n,
+        )
+        for u in members
+    }
+    for s in range(t):
+        horizon = t - s
+        msgs = {
+            u: algorithm.message(states[u], s)
+            for u in members
+            if dist[u] <= horizon
+        }
+        for u in members:
+            if dist[u] <= horizon - 1:
+                states[u] = algorithm.transition(
+                    states[u], [msgs[w] for w in neighbor_lists[u]], s
+                )
+    return algorithm.decide(states[center], t)

@@ -1,0 +1,240 @@
+"""Engine equivalence: ``engine="incremental"`` vs ``engine="reference"``.
+
+The contract (see :class:`repro.local.simulator.LocalSimulator`) is that
+the two engines are observationally identical: same ``(T_v, output)`` maps
+on every graph, algorithm and ID assignment.  This suite pins it over a
+seeded corpus covering both algorithm formulations (view-based and
+message-passing), plus the CSR substrate invariants the incremental engine
+leans on (ball equality with a naive BFS, networkx round-trips, shared
+BFS-layer reuse in ``run_batch``).
+"""
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.algorithms import (
+    CanonicalTwoColoring,
+    ColeVishkin3Coloring,
+    GenericPhaseColoring,
+    WaitForWholeGraph,
+    default_gammas_25,
+    default_gammas_35,
+)
+from repro.local import (
+    CONTINUE,
+    ENGINES,
+    BallStore,
+    Graph,
+    LocalAlgorithm,
+    LocalSimulator,
+    MessageSimulator,
+    balanced_tree,
+    from_networkx,
+    path_graph,
+    random_ids,
+    star_graph,
+    to_networkx,
+)
+
+
+def corpus():
+    """Seeded (name, graph) instances: paths, stars, balanced trees."""
+    rng = random.Random(20240722)
+    cases = [
+        ("path2", path_graph(2)),
+        ("path9", path_graph(9)),
+        ("path24", path_graph(24)),
+        ("star6", star_graph(6)),
+        ("btree2x3", balanced_tree(2, 3)),
+        ("btree3x2", balanced_tree(3, 2)),
+        ("forest", Graph(10, [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 8)])),
+    ]
+    return [(name, g, random_ids(g.n, rng=rng)) for name, g in cases]
+
+
+CORPUS = corpus()
+PATH_CORPUS = [(name, g, ids) for name, g, ids in CORPUS if g.max_degree() <= 2]
+
+
+class FirstVisibleOutput(LocalAlgorithm):
+    """Causality probe: min-ID node commits at round 0; everyone else
+    commits the round some output becomes causally visible."""
+
+    name = "first-visible-output"
+
+    def decide(self, view, n):
+        me = view.center
+        if view.id_of(me) == min(view.id_of(u) for u in view.nodes()):
+            if view.sees_whole_component() or len(view.nodes()) == n:
+                return "root"
+            return CONTINUE
+        for u in view.nodes():
+            if u != me and view.output_of(u) is not None:
+                return view.round
+        return CONTINUE
+
+
+def _solve_degrees(graph, ids):
+    return [graph.degree(v) for v in graph.nodes()]
+
+
+def view_algorithms():
+    return [
+        CanonicalTwoColoring(),
+        WaitForWholeGraph(_solve_degrees),
+        FirstVisibleOutput(),
+    ]
+
+
+def assert_equivalent(graph, make_algorithm, ids):
+    ref = LocalSimulator(engine="reference").run(graph, make_algorithm(), ids)
+    inc = LocalSimulator(engine="incremental").run(graph, make_algorithm(), ids)
+    assert inc.rounds == ref.rounds
+    assert inc.outputs == ref.outputs
+    return ref, inc
+
+
+class TestViewEngineEquivalence:
+    @pytest.mark.parametrize("name,graph,ids", CORPUS, ids=[c[0] for c in CORPUS])
+    def test_view_algorithms(self, name, graph, ids):
+        for algo in view_algorithms():
+            assert_equivalent(graph, lambda a=algo: a, ids)
+
+    def test_engine_recorded_in_meta(self):
+        g = path_graph(5)
+        tr = LocalSimulator(engine="reference").run(g, CanonicalTwoColoring())
+        assert tr.meta["engine"] == "reference"
+        tr = LocalSimulator().run(g, CanonicalTwoColoring())
+        assert tr.meta["engine"] == "incremental"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            LocalSimulator(engine="warp")
+
+
+class TestMessageEngineEquivalence:
+    @pytest.mark.parametrize(
+        "name,graph,ids", PATH_CORPUS, ids=[c[0] for c in PATH_CORPUS]
+    )
+    def test_cole_vishkin(self, name, graph, ids):
+        ref, inc = assert_equivalent(graph, ColeVishkin3Coloring, ids)
+        msg = MessageSimulator().run(graph, ColeVishkin3Coloring(), ids)
+        assert msg.rounds == ref.rounds and msg.outputs == ref.outputs
+
+    @pytest.mark.parametrize("variant", ["2.5", "3.5"])
+    def test_generic_phases(self, variant):
+        k = 2
+        for name, graph, ids in [CORPUS[1], CORPUS[4]]:
+            gammas = (
+                default_gammas_25(graph.n, k)
+                if variant == "2.5"
+                else default_gammas_35(graph.n, k)
+            )
+            assert_equivalent(
+                graph, lambda: GenericPhaseColoring(k, gammas, variant), ids
+            )
+
+
+class TestRunBatch:
+    def test_batch_matches_individual_runs(self):
+        g = balanced_tree(2, 3)
+        rng = random.Random(7)
+        samples = [random_ids(g.n, rng=rng) for _ in range(4)]
+        sim = LocalSimulator()
+        batch = sim.run_batch(g, CanonicalTwoColoring(), samples)
+        for ids, tr in zip(samples, batch):
+            solo = LocalSimulator().run(g, CanonicalTwoColoring(), ids)
+            assert tr.rounds == solo.rounds and tr.outputs == solo.outputs
+
+    def test_batch_resets_per_run_caches(self):
+        g = path_graph(6)
+        samples = [[6, 5, 4, 3, 2, 1], [1, 2, 3, 4, 5, 6]]
+        batch = LocalSimulator().run_batch(g, WaitForWholeGraph(_ids_as_outputs), samples)
+        assert batch[0].outputs == samples[0]
+        assert batch[1].outputs == samples[1]
+
+
+def _ids_as_outputs(graph, ids):
+    return list(ids)
+
+
+class TestWaitForWholeGraphComponents:
+    def test_each_component_solves_with_own_ids(self):
+        # regression: the centralized-solve memo must be per component —
+        # a shared memo would hand component {3,4} outputs computed from
+        # component {0,1,2}'s zero-padded ID vector
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        ids = [10, 11, 12, 13, 14]
+        for engine in ENGINES:
+            tr = LocalSimulator(engine=engine).run(
+                g, WaitForWholeGraph(_ids_as_outputs), ids
+            )
+            assert tr.outputs == ids, engine
+
+    def test_view_ball_is_read_only_on_both_engines(self):
+        class Mutator(LocalAlgorithm):
+            name = "mutator"
+
+            def decide(self, view, n):
+                view.nodes()[view.center] = 99
+                return 0
+
+        for engine in ENGINES:
+            with pytest.raises(TypeError):
+                LocalSimulator(engine=engine).run(path_graph(3), Mutator())
+
+
+def naive_ball(graph, v, radius):
+    """Dict/deque BFS ball — the pre-CSR implementation, kept as oracle."""
+    dist = {v: 0}
+    queue = deque([v])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if du == radius:
+            continue
+        for w in graph.neighbors(u):
+            if w not in dist:
+                dist[w] = du + 1
+                queue.append(w)
+    return dist
+
+
+class TestCSRSubstrate:
+    @pytest.mark.parametrize("name,graph,ids", CORPUS, ids=[c[0] for c in CORPUS])
+    def test_ball_matches_naive_bfs(self, name, graph, ids):
+        for v in range(0, graph.n, 2):
+            for radius in (0, 1, 2, graph.n):
+                assert graph.ball(v, radius) == naive_ball(graph, v, radius)
+
+    @pytest.mark.parametrize("name,graph,ids", CORPUS, ids=[c[0] for c in CORPUS])
+    def test_ballstore_grows_to_exact_balls(self, name, graph, ids):
+        store = BallStore(graph, 0)
+        for t in range(graph.n + 1):
+            assert store.grow_to(t) == graph.ball(0, t)
+
+    def test_networkx_roundtrip_preserves_csr(self):
+        g = balanced_tree(3, 2).with_inputs(
+            [f"in{v}" for v in range(balanced_tree(3, 2).n)]
+        )
+        back = from_networkx(to_networkx(g))
+        assert back.n == g.n and back.m == g.m
+        assert sorted(map(tuple, back.edges())) == sorted(map(tuple, g.edges()))
+        assert back.inputs() == g.inputs()
+        for v in range(g.n):
+            assert back.ball(v, 2) == g.ball(v, 2)
+
+    def test_adjacency_slices_match_neighbors(self):
+        g = balanced_tree(2, 4)
+        indptr, indices = g.adjacency()
+        for v in range(g.n):
+            assert tuple(indices[indptr[v]:indptr[v + 1]]) == g.neighbors(v)
+            assert indptr[v + 1] - indptr[v] == g.degree(v)
+
+    def test_bfs_layers(self):
+        g = path_graph(5)
+        layers = list(g.bfs_layers([2]))
+        assert layers == [[2], [1, 3], [0, 4]]
+        assert list(g.bfs_layers([0, 4])) == [[0, 4], [1, 3], [2]]
