@@ -1,0 +1,68 @@
+"""Sweep parallelism — ``SweepRunner`` at 4 workers vs. serial.
+
+Micro-benchmark for the :mod:`repro.sweep` fan-out: a 512-instance
+``bounded_tree_d3`` family sweep (canonical 2-coloring, one ID sample per
+instance) run with ``workers=1`` and ``workers=4``.  Two gates:
+
+* the JSON aggregates must be **byte-identical** across worker counts —
+  parallelism is never allowed to change results (asserted always);
+* at 4 workers the sweep must be at least 2x faster wall-clock — asserted
+  only when the machine actually exposes >= 4 usable cores (CI runners
+  do; a 1-core container cannot speed anything up by forking).
+"""
+
+import os
+
+from harness import record_table, timed
+
+from repro.sweep import SweepRunner
+
+FAMILY = "bounded_tree_d3"
+N = 64
+INSTANCES = 512
+ALGORITHM = "two_coloring"
+SEED = 0
+MIN_SPEEDUP = 2.0
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_sweep(workers: int) -> str:
+    runner = SweepRunner(workers=workers, samples=1, instances=INSTANCES)
+    return runner.run_json([FAMILY], [N], [ALGORITHM], seed=SEED)
+
+
+def test_sweep_parallel_speedup():
+    cores = _usable_cores()
+    json_serial, wall_serial = timed(run_sweep, 1)
+    json_parallel, wall_parallel = timed(run_sweep, 4)
+    speedup = wall_serial / wall_parallel
+
+    record_table(
+        "sweep_parallel",
+        f"Sweep fan-out: {INSTANCES} x {FAMILY}(n={N}), {ALGORITHM}",
+        ["workers", "instances", "wall_s", "speedup"],
+        [
+            (1, INSTANCES, f"{wall_serial:.3f}", "1.0"),
+            (4, INSTANCES, f"{wall_parallel:.3f}", f"{speedup:.2f}"),
+        ],
+        notes=[
+            f"usable cores: {cores}; byte-identical aggregates: "
+            f"{json_serial == json_parallel}",
+            f"speedup gate (>= {MIN_SPEEDUP}x) "
+            + ("enforced" if cores >= 4 else "skipped: fewer than 4 cores"),
+        ],
+    )
+
+    assert json_serial == json_parallel, (
+        "parallel sweep changed the aggregates — determinism bug"
+    )
+    if cores >= 4:
+        assert speedup >= MIN_SPEEDUP, (
+            f"4-worker sweep only {speedup:.2f}x faster; need >= {MIN_SPEEDUP}x"
+        )

@@ -23,12 +23,25 @@ and use ``run_batch`` to sweep many ID assignments over one topology.
 
 __version__ = "1.0.0"
 
-from . import algorithms, analysis, constructions, gap, lcl, local  # noqa: F401
+from . import (  # noqa: F401
+    algorithms,
+    analysis,
+    constructions,
+    families,
+    gap,
+    lcl,
+    local,
+)
+
+# repro.sweep is importable but not imported eagerly: it doubles as the
+# ``python -m repro.sweep`` CLI, and runpy warns when the module it is
+# about to execute was already pulled in by the package import.
 
 __all__ = [
     "algorithms",
     "analysis",
     "constructions",
+    "families",
     "gap",
     "lcl",
     "local",

@@ -56,7 +56,11 @@ def weight_tree_edges(
 
 def random_tree(n: int, max_degree: int = 4, rng: Optional[random.Random] = None) -> Graph:
     """A uniform-ish random tree with bounded degree (random attachment
-    among nodes with spare degree)."""
+    among nodes with spare degree).
+
+    Also the builder behind the ``bounded_tree_d3`` family in
+    :mod:`repro.families`.
+    """
     if n < 1:
         raise ValueError("n must be >= 1")
     rng = rng or random.Random()
@@ -64,16 +68,19 @@ def random_tree(n: int, max_degree: int = 4, rng: Optional[random.Random] = None
     degree = [0] * n
     candidates = [0]
     for v in range(1, n):
-        parent = rng.choice(candidates)
+        if not candidates:
+            raise ValueError("degree budget exhausted; raise max_degree")
+        i = rng.randrange(len(candidates))
+        parent = candidates[i]
         edges.append((parent, v))
         degree[parent] += 1
         degree[v] += 1
         if degree[parent] >= max_degree:
-            candidates.remove(parent)
+            # swap-pop: the candidate list is a set, order is irrelevant
+            candidates[i] = candidates[-1]
+            candidates.pop()
         if degree[v] < max_degree:
             candidates.append(v)
-        if not candidates:
-            raise ValueError("degree budget exhausted; raise max_degree")
     return Graph(n, edges)
 
 

@@ -4,12 +4,15 @@ from .algorithm import CONTINUE, BallStore, LocalAlgorithm, View
 from .graph import (
     Graph,
     balanced_tree,
+    cycle_graph,
+    disjoint_union,
     from_networkx,
+    grid_graph,
     path_graph,
     star_graph,
     to_networkx,
 )
-from .ids import id_space_size, random_ids, sequential_ids
+from .ids import id_space_size, random_ids, sequential_ids, validate_ids
 from .message import MessageAlgorithm, MessageSimulator, NodeInfo, run_message_dynamics
 from .metrics import ExecutionTrace, node_averaged, worst_case
 from .simulator import ENGINES, LocalSimulator, SimulationError
@@ -21,13 +24,17 @@ __all__ = [
     "View",
     "Graph",
     "balanced_tree",
+    "cycle_graph",
+    "disjoint_union",
     "from_networkx",
+    "grid_graph",
     "path_graph",
     "star_graph",
     "to_networkx",
     "id_space_size",
     "random_ids",
     "sequential_ids",
+    "validate_ids",
     "MessageAlgorithm",
     "MessageSimulator",
     "NodeInfo",

@@ -81,6 +81,8 @@ class BallStore:
 
     def grow_to(self, t: int) -> Dict[int, int]:
         """Expand the ball to radius ``t`` and return the ``dist`` map."""
+        if t < 0:
+            raise ValueError(f"radius must be non-negative, got {t}")
         dist = self.dist
         layers = self._layers
         while self.radius < t and not self._complete:
@@ -196,21 +198,36 @@ class View:
 
     # -- labels --------------------------------------------------------
     def id_of(self, u: int) -> int:
+        """The identifier of ``u``; raises ``KeyError`` outside the ball.
+
+        Raising (rather than answering from the global arrays) is what
+        keeps the view sound: a radius-``t`` view that answered ID queries
+        about nodes beyond distance ``t`` would let an algorithm cheat the
+        LOCAL model without either engine noticing.
+        """
+        if u not in self._dist:
+            raise KeyError(u)
         return self._ids[u]
 
     def input_of(self, u: int):
+        """The input label of ``u``; raises ``KeyError`` outside the ball."""
+        if u not in self._dist:
+            raise KeyError(u)
         return self.graph.input_of(u)
 
     def output_of(self, u: int):
         """The committed output of ``u`` if causally visible, else None.
 
         A commit at round ``s`` by a node at distance ``delta`` is visible
-        at rounds ``>= s + delta``.
+        at rounds ``>= s + delta``.  Raises ``KeyError`` outside the ball:
+        answering None there while raising for committed nodes would let
+        an algorithm distinguish the two — an out-of-horizon signal.
         """
+        delta = self._dist[u]
         s = self._commit_round[u]
         if s is None:
             return None
-        if s + self._dist[u] <= self.round:
+        if s + delta <= self.round:
             return self._outputs[u]
         return None
 

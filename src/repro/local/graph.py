@@ -34,7 +34,10 @@ __all__ = [
     "Graph",
     "path_graph",
     "star_graph",
+    "cycle_graph",
+    "grid_graph",
     "balanced_tree",
+    "disjoint_union",
     "from_networkx",
     "to_networkx",
 ]
@@ -235,6 +238,8 @@ class Graph:
     # ------------------------------------------------------------------
     def ball(self, v: int, radius: int) -> Dict[int, int]:
         """Return ``{node: distance}`` for all nodes within ``radius`` of v."""
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
         dist = {v: 0}
         for r, layer in enumerate(self.bfs_layers([v])):
             if r > 0:
@@ -315,6 +320,44 @@ def path_graph(n: int, inputs: Optional[Sequence] = None) -> Graph:
 def star_graph(leaves: int) -> Graph:
     """A star: node 0 is the centre, nodes 1..leaves are leaves."""
     return Graph(leaves + 1, [(0, i) for i in range(1, leaves + 1)])
+
+
+def cycle_graph(n: int, inputs: Optional[Sequence] = None) -> Graph:
+    """A cycle on ``n >= 3`` nodes: 0 - 1 - ... - (n-1) - 0."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    edges = [(i, i + 1) for i in range(n - 1)] + [(n - 1, 0)]
+    return Graph(n, edges, inputs)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A ``rows x cols`` grid; node ``(r, c)`` has handle ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph(rows * cols, edges)
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> Graph:
+    """The disjoint union of ``graphs``; handles of graph ``i`` are offset
+    by the total size of graphs ``0..i-1``, inputs are preserved."""
+    if not graphs:
+        raise ValueError("disjoint_union needs at least one graph")
+    edges: List[Tuple[int, int]] = []
+    inputs: List = []
+    offset = 0
+    for g in graphs:
+        edges.extend((u + offset, v + offset) for u, v in g.edges())
+        inputs.extend(g.inputs())
+        offset += g.n
+    return Graph(offset, edges, inputs)
 
 
 def balanced_tree(fanout: int, height: int) -> Graph:

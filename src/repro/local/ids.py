@@ -9,7 +9,9 @@ assignment is part of the experiment design:
   symmetry breaking, useful as a sanity baseline);
 * :func:`random_ids` — uniformly random injection into ``{1..n^c}`` (the
   standard adversarial-free setting for measuring upper bounds);
-* :func:`id_space_size` — the canonical ID space size ``n^c``.
+* :func:`id_space_size` — the canonical ID space size ``n^c``;
+* :func:`validate_ids` — the uniqueness/positivity check every simulator
+  entry point applies to caller-supplied assignments.
 """
 
 from __future__ import annotations
@@ -17,7 +19,13 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
-__all__ = ["sequential_ids", "random_ids", "id_space_size", "IdAssignment"]
+__all__ = [
+    "sequential_ids",
+    "random_ids",
+    "validate_ids",
+    "id_space_size",
+    "IdAssignment",
+]
 
 IdAssignment = List[int]
 
@@ -43,7 +51,9 @@ def random_ids(
 ) -> IdAssignment:
     """A uniformly random injective ID assignment from ``{1..n^c}``.
 
-    Uses rejection-free sampling without materialising the ID space.
+    Uses rejection sampling without materialising the ID space: draws are
+    retried on collision, which is cheap because the space is ``n^c >= n^3``
+    times larger than the sample (expected extra draws are ``O(1/n)``).
     """
     rng = rng or random.Random()
     space = id_space_size(n, c)

@@ -20,9 +20,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from .algorithm import CONTINUE
 from .graph import Graph
-from .ids import sequential_ids, validate_ids
 from .metrics import ExecutionTrace
-from .simulator import SimulationError
+from .simulator import LocalSimulator, SimulationError
 
 __all__ = [
     "MessageAlgorithm",
@@ -139,7 +138,14 @@ def run_message_dynamics(
 
 class MessageSimulator:
     """Execute a :class:`MessageAlgorithm`; same accounting as the view
-    simulator."""
+    simulator.
+
+    A thin compatibility front for :class:`~repro.local.simulator.
+    LocalSimulator`, which runs both algorithm formulations; delegating
+    keeps the two entry points from drifting apart — in particular the
+    traces carry the same ``meta`` keys (``"ids"``, ``"engine"``), so
+    tooling that reads ``trace.meta["engine"]`` works on either.
+    """
 
     def __init__(self, max_rounds: Optional[int] = None) -> None:
         self._max_rounds = max_rounds
@@ -150,25 +156,10 @@ class MessageSimulator:
         algorithm: MessageAlgorithm,
         ids: Optional[Sequence[int]] = None,
     ) -> ExecutionTrace:
-        n = graph.n
-        if n == 0:
-            raise ValueError("cannot run on the empty graph")
-        id_list: List[int] = list(ids) if ids is not None else sequential_ids(n)
-        if len(id_list) != n:
-            raise ValueError("ids length must equal n")
-        validate_ids(id_list)
-
-        algorithm.setup(graph, n)
-        budget = self._max_rounds
-        if budget is None:
-            budget = algorithm.max_rounds_hint(n)
-
-        commit_round, outputs = run_message_dynamics(
-            graph, algorithm, id_list, budget
-        )
-        return ExecutionTrace(
-            rounds=[r for r in commit_round],  # type: ignore[list-item]
-            outputs=outputs,
-            algorithm=algorithm.name,
-            meta={"ids": id_list},
+        if not isinstance(algorithm, MessageAlgorithm):
+            raise TypeError(
+                f"MessageSimulator runs MessageAlgorithms, got {type(algorithm)!r}"
+            )
+        return LocalSimulator(max_rounds=self._max_rounds).run(
+            graph, algorithm, ids
         )

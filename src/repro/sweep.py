@@ -1,0 +1,459 @@
+"""Parallel family sweeps: measure ``AVG_V`` as the paper defines it.
+
+The node-averaged complexity of an algorithm is a supremum over a graph
+family *and* an ID assignment (``AVG_V(A) = max_{G} (1/|V|) sum_v T_v``,
+:mod:`repro.local.metrics`).  A :class:`SweepRunner` estimates that sup
+empirically: it draws ``instances`` seeded graphs per ``(family, n)`` cell
+from :mod:`repro.families`, runs every registered algorithm over
+``samples`` random ID assignments per instance
+(:meth:`~repro.local.simulator.LocalSimulator.run_batch`, so the
+BFS-layer atlas is shared across the ID samples of an instance), and
+aggregates ``max``/``mean`` of the node-averaged and worst-case
+complexity per cell.
+
+Parallelism and determinism
+---------------------------
+Work is chunked *by instance*: one task = one ``(family, n, instance,
+algorithm)`` unit, fanned over a ``multiprocessing`` pool (fork context —
+workers inherit dynamically registered families and algorithms).  Every
+graph and every ID assignment is derived from a stable digest of
+``(family, n, seed, instance, sample)``, and per-cell run sequences are
+re-assembled in task order, so ``workers=1`` and ``workers=8`` produce
+**byte-identical** JSON — the worker count only changes wall-clock time.
+Graphs are rebuilt inside the worker from ``(name, n, seed, index)``
+instead of being pickled over IPC.
+
+CLI
+---
+::
+
+    python -m repro.sweep --family random_tree --sizes 64,256 \
+        --algorithms two_coloring --workers 4 --seed 0 --out sweep.json
+
+``--algorithms`` names come from :data:`ALGORITHMS`; add project-specific
+entries with :func:`register_algorithm` (benchmarks do this for the
+paper's constructions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import random
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .families import FAMILIES, Family, get_family, register_family
+from .local.graph import Graph
+from .local.ids import id_space_size, random_ids
+from .local.metrics import ExecutionTrace
+from .local.simulator import ENGINES, LocalSimulator
+
+__all__ = [
+    "AlgorithmSpec",
+    "ALGORITHMS",
+    "register_algorithm",
+    "get_algorithm",
+    "SweepRunner",
+    "main",
+]
+
+
+# ----------------------------------------------------------------------
+# algorithm registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named sweep algorithm.
+
+    Exactly one of the two runners must be set: ``factory(n)`` builds a
+    :class:`LocalAlgorithm`/:class:`MessageAlgorithm` executed through
+    ``LocalSimulator.run_batch`` (the default path), while
+    ``fast_forward(graph, ids)`` computes the same trace centrally for
+    algorithms whose simulator runs would be infeasible at sweep sizes.
+    """
+
+    name: str
+    factory: Optional[Callable[[int], object]] = None
+    fast_forward: Optional[Callable[[Graph, List[int]], ExecutionTrace]] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.factory is None) == (self.fast_forward is None):
+            raise ValueError(
+                f"algorithm {self.name!r} needs exactly one of "
+                "factory / fast_forward"
+            )
+
+
+ALGORITHMS: Dict[str, AlgorithmSpec] = {}
+
+
+def register_algorithm(spec: AlgorithmSpec, overwrite: bool = False) -> AlgorithmSpec:
+    if not overwrite and spec.name in ALGORITHMS:
+        raise ValueError(f"algorithm {spec.name!r} already registered")
+    ALGORITHMS[spec.name] = spec
+    return spec
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}"
+        ) from None
+
+
+def _make_two_coloring(n: int):
+    from .algorithms import CanonicalTwoColoring
+
+    return CanonicalTwoColoring()
+
+
+def _make_cole_vishkin(n: int):
+    from .algorithms import ColeVishkin3Coloring
+
+    return ColeVishkin3Coloring()
+
+
+def _make_wait_whole_graph(n: int):
+    from .algorithms import WaitForWholeGraph
+
+    def degrees(graph: Graph, ids: Sequence[int]) -> List[int]:
+        return [graph.degree(v) for v in graph.nodes()]
+
+    return WaitForWholeGraph(degrees)
+
+
+def _two_coloring_fast_forward(graph: Graph, ids: List[int]) -> ExecutionTrace:
+    from .algorithms import two_coloring_fast_forward
+
+    colors, rounds = two_coloring_fast_forward(graph, ids)
+    return ExecutionTrace(rounds=rounds, outputs=colors,
+                          algorithm="canonical-2coloring-ff")
+
+
+def _cv3_path_fast_forward(graph: Graph, ids: List[int]) -> ExecutionTrace:
+    from .algorithms import three_color_path
+
+    if graph.m != graph.n - 1 or any(v != u + 1 for u, v in graph.edges()):
+        raise ValueError("cv3_path_ff runs on canonical path graphs only")
+    colors, rounds = three_color_path(ids, id_space_size(graph.n))
+    return ExecutionTrace(rounds=[rounds] * graph.n, outputs=colors,
+                          algorithm="cole-vishkin-3coloring-ff")
+
+
+for _spec in (
+    AlgorithmSpec("two_coloring", factory=_make_two_coloring,
+                  description="canonical 2-coloring of forests (Theta(n) avg)"),
+    AlgorithmSpec("cole_vishkin", factory=_make_cole_vishkin,
+                  description="Cole-Vishkin 3-coloring (max degree <= 2)"),
+    AlgorithmSpec("wait_whole_graph", factory=_make_wait_whole_graph,
+                  description="gather-everything baseline (Theta(diameter))"),
+    AlgorithmSpec("two_coloring_ff", fast_forward=_two_coloring_fast_forward,
+                  description="fast-forward canonical 2-coloring"),
+    AlgorithmSpec("cv3_path_ff", fast_forward=_cv3_path_fast_forward,
+                  description="fast-forward Cole-Vishkin on canonical paths"),
+):
+    register_algorithm(_spec)
+del _spec
+
+
+# ----------------------------------------------------------------------
+# tasks and workers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Task:
+    family: str
+    n: int
+    index: int
+    algorithm: str
+    samples: int
+    seed: int
+    engine: str
+
+
+def _sample_seed(family: str, n: int, seed: int, index: int, sample: int) -> int:
+    """Stable cross-process seed for one ID draw; independent of the
+    algorithm so every algorithm of a cell sees identical IDs."""
+    digest = hashlib.blake2b(
+        f"ids|{family}|{n}|{seed}|{index}|{sample}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _run_task(task: _Task) -> Tuple[int, List[Tuple[float, int]]]:
+    """One (instance, algorithm) unit: rebuild the graph from its seed,
+    run all ID samples (sharing the topology atlas via ``run_batch``),
+    return the instance's actual node count plus per-sample
+    ``(node_averaged, worst_case)``."""
+    family = get_family(task.family)
+    graph = family.instance(task.n, task.seed, task.index)
+    id_samples = [
+        random_ids(graph.n, rng=random.Random(
+            _sample_seed(task.family, task.n, task.seed, task.index, s)))
+        for s in range(task.samples)
+    ]
+    spec = get_algorithm(task.algorithm)
+    if spec.fast_forward is not None:
+        traces = [spec.fast_forward(graph, ids) for ids in id_samples]
+    else:
+        algorithm = spec.factory(graph.n)
+        traces = LocalSimulator(engine=task.engine).run_batch(
+            graph, algorithm, id_samples
+        )
+    return graph.n, [(t.node_averaged(), t.worst_case()) for t in traces]
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+class SweepRunner:
+    """Fan a family x sizes x algorithms sweep over worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``1`` runs in-process (no pool).  Aggregates are
+        byte-identical for every worker count.
+    samples:
+        Random ID assignments per instance.
+    instances:
+        Instances per ``(family, n)`` cell; ``None`` uses each family's
+        ``default_count``.
+    engine:
+        Simulator engine for factory-based algorithms.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        samples: int = 3,
+        instances: Optional[int] = None,
+        engine: str = "incremental",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        if instances is not None and instances < 1:
+            raise ValueError("instances must be >= 1")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}")
+        self.workers = workers
+        self.samples = samples
+        self.instances = instances
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        families: Sequence[Union[str, Family]],
+        sizes: Sequence[int],
+        algorithms: Sequence[str],
+        seed: int = 0,
+    ) -> Dict:
+        """Execute the sweep and return the aggregate payload (a plain
+        JSON-serializable dict; see :meth:`run_json`)."""
+        family_names = []
+        for f in families:
+            if isinstance(f, Family):
+                # make ad-hoc families resolvable by name inside fork workers
+                if FAMILIES.get(f.name) is not f:
+                    register_family(f, overwrite=True)
+                family_names.append(f.name)
+            else:
+                get_family(f)  # fail fast on typos
+                family_names.append(f)
+        for a in algorithms:
+            get_algorithm(a)
+        if not family_names or not sizes or not algorithms:
+            raise ValueError("families, sizes and algorithms must be non-empty")
+
+        tasks: List[_Task] = []
+        cells: List[Tuple[str, int, str]] = []
+        for name in family_names:
+            count = self.instances or get_family(name).default_count
+            for n in sizes:
+                for algo in algorithms:
+                    cells.append((name, n, algo))
+                    for index in range(count):
+                        tasks.append(_Task(
+                            family=name, n=n, index=index, algorithm=algo,
+                            samples=self.samples, seed=seed,
+                            engine=self.engine,
+                        ))
+        if len(set(cells)) != len(cells):
+            raise ValueError(
+                "duplicate (family, n, algorithm) cells — repeated entries "
+                "in families/sizes/algorithms would double-count runs"
+            )
+
+        results = self._map(tasks)
+
+        per_cell: Dict[Tuple[str, int, str], List[Tuple[float, int]]] = {
+            cell: [] for cell in cells
+        }
+        cell_sizes: Dict[Tuple[str, int, str], List[int]] = {
+            cell: [] for cell in cells
+        }
+        for task, (instance_n, runs) in zip(tasks, results):
+            key = (task.family, task.n, task.algorithm)
+            per_cell[key].extend(runs)
+            cell_sizes[key].append(instance_n)
+
+        payload_cells = []
+        for (name, n, algo) in cells:
+            runs = per_cell[(name, n, algo)]
+            avgs = [avg for avg, _ in runs]
+            worsts = [worst for _, worst in runs]
+            sizes_seen = cell_sizes[(name, n, algo)]
+            payload_cells.append({
+                "family": name,
+                "n": n,
+                "algorithm": algo,
+                "runs": len(runs),
+                # actual built sizes: families like grid or the benchmark
+                # lower-bound constructions round the target n
+                "instance_n": {"min": min(sizes_seen), "max": max(sizes_seen)},
+                "node_averaged": {
+                    "max": max(avgs),
+                    "mean": sum(avgs) / len(avgs),
+                },
+                "worst_case": {
+                    "max": max(worsts),
+                    "mean": sum(worsts) / len(worsts),
+                },
+            })
+
+        return {
+            "spec": {
+                "families": list(family_names),
+                "sizes": list(sizes),
+                "algorithms": list(algorithms),
+                "samples": self.samples,
+                "instances": {
+                    name: self.instances or get_family(name).default_count
+                    for name in family_names
+                },
+                "seed": seed,
+                "engine": self.engine,
+                # deliberately no worker count: the payload must be
+                # byte-identical for any parallelism level
+            },
+            "cells": payload_cells,
+        }
+
+    def run_json(
+        self,
+        families: Sequence[Union[str, Family]],
+        sizes: Sequence[int],
+        algorithms: Sequence[str],
+        seed: int = 0,
+    ) -> str:
+        """The sweep aggregates as canonical JSON (sorted keys, 2-space
+        indent, trailing newline) — the byte-comparable artifact."""
+        payload = self.run(families, sizes, algorithms, seed)
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    # ------------------------------------------------------------------
+    def _map(
+        self, tasks: List[_Task]
+    ) -> List[Tuple[int, List[Tuple[float, int]]]]:
+        if self.workers == 1 or len(tasks) <= 1:
+            return [_run_task(t) for t in tasks]
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            # spawn workers re-import a fresh registry, so dynamically
+            # registered families/algorithms would vanish mid-sweep —
+            # fail loudly instead of crashing deep inside pool.map
+            raise RuntimeError(
+                "parallel sweeps need a fork-capable platform "
+                "(spawn workers cannot see dynamically registered "
+                "families/algorithms); use workers=1"
+            )
+        workers = min(self.workers, len(tasks))
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with ctx.Pool(processes=workers) as pool:
+            # map (not imap_unordered): results come back in task order,
+            # which is what makes parallel aggregates deterministic
+            return pool.map(_run_task, tasks, chunksize=chunksize)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _csv_ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _csv_names(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Sweep LOCAL algorithms over seeded graph families and "
+        "report family-sup node-averaged complexity aggregates as JSON.",
+    )
+    parser.add_argument(
+        "--family", action="append", required=True, metavar="NAME[,NAME...]",
+        help=f"family to sweep (repeatable / comma-separated); "
+        f"known: {', '.join(sorted(FAMILIES))}",
+    )
+    parser.add_argument(
+        "--sizes", type=_csv_ints, default=[64], metavar="N[,N...]",
+        help="comma-separated target instance sizes (default: 64)",
+    )
+    parser.add_argument(
+        "--algorithms", type=_csv_names, default=["two_coloring"],
+        metavar="NAME[,NAME...]",
+        help=f"comma-separated algorithm registry names (default: "
+        f"two_coloring); known: {', '.join(sorted(ALGORITHMS))}",
+    )
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default: 1)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="sweep seed (default: 0)")
+    parser.add_argument("--samples", type=int, default=3,
+                        help="ID assignments per instance (default: 3)")
+    parser.add_argument("--instances", type=int, default=None,
+                        help="instances per (family, n) cell "
+                        "(default: family-specific)")
+    parser.add_argument("--engine", choices=list(ENGINES),
+                        default="incremental",
+                        help="simulator engine (default: incremental)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write JSON here instead of stdout")
+    args = parser.parse_args(argv)
+
+    families: List[str] = []
+    for chunk in args.family:
+        families.extend(_csv_names(chunk))
+
+    runner = SweepRunner(
+        workers=args.workers, samples=args.samples,
+        instances=args.instances, engine=args.engine,
+    )
+    text = runner.run_json(families, args.sizes, args.algorithms, args.seed)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        payload = json.loads(text)
+        cells = payload["cells"]
+        sup = max(c["node_averaged"]["max"] for c in cells)
+        print(f"wrote {args.out}: {len(cells)} cells, "
+              f"family-sup node-averaged = {sup:.2f}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Graph-family generators: validity, degree bounds, reproducibility.
+
+Acceptance contract (ISSUE 2): every registered family yields graphs that
+pass ``Graph`` validation, respect their declared degree bound, and are
+reproducible from ``(name, n, seed)`` alone.
+"""
+
+import random
+
+import pytest
+
+from repro.families import (
+    FAMILIES,
+    bounded_degree_tree,
+    caterpillar_tree,
+    get_family,
+    prufer_tree,
+    register_family,
+    spider_tree,
+    union_family,
+)
+from repro.local import Graph, cycle_graph, disjoint_union, grid_graph, path_graph
+
+SIZES = (1, 2, 3, 9, 40, 97)
+TREE_FAMILIES = (
+    "path", "complete_binary_tree", "random_tree", "bounded_tree_d3",
+    "caterpillar", "spider", "star",
+)
+FOREST_FAMILIES = ("random_forest", "fragmented_forest")
+
+
+def _edge_set(g: Graph):
+    return (g.n, sorted(g.edges()))
+
+
+class TestRegistry:
+    def test_expected_families_registered(self):
+        expected = {
+            "path", "cycle", "star", "grid", "complete_binary_tree",
+            "random_tree", "bounded_tree_d3", "caterpillar", "spider",
+            "random_forest", "fragmented_forest",
+        }
+        assert expected <= set(FAMILIES)
+
+    def test_get_family_unknown(self):
+        with pytest.raises(KeyError):
+            get_family("nope")
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            register_family(FAMILIES["path"])
+
+
+class TestInstances:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_valid_and_degree_bounded(self, name):
+        fam = get_family(name)
+        for n in SIZES:
+            for g in fam.instances(n, seed=11):
+                assert g.n >= 1
+                if fam.degree_bound is not None:
+                    assert g.max_degree() <= fam.degree_bound, (name, n)
+                # Graph() already validated handles/self-loops/duplicates;
+                # re-round-trip the edge list to prove it stays valid
+                Graph(g.n, list(g.edges()), g.inputs())
+
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_reproducible_from_name_n_seed(self, name):
+        fam = get_family(name)
+        a = [_edge_set(g) for g in fam.instances(40, seed=5)]
+        b = [_edge_set(g) for g in fam.instances(40, seed=5)]
+        assert a == b
+        # instance(index) addresses the same draw without the prefix
+        assert _edge_set(fam.instance(40, 5, len(a) - 1)) == a[-1]
+
+    @pytest.mark.parametrize("name", ("random_tree", "bounded_tree_d3",
+                                      "caterpillar", "spider"))
+    def test_seeds_and_indices_vary(self, name):
+        fam = get_family(name)
+        draws = {
+            tuple(sorted(fam.instance(60, seed, index).edges()))
+            for seed in (0, 1)
+            for index in (0, 1)
+        }
+        assert len(draws) >= 3  # genuinely random, not degenerate
+
+    @pytest.mark.parametrize("name", TREE_FAMILIES)
+    def test_tree_families_yield_trees(self, name):
+        for g in get_family(name).instances(50, seed=2):
+            assert g.is_tree(), name
+
+    @pytest.mark.parametrize("name", FOREST_FAMILIES)
+    def test_union_families_yield_forests(self, name):
+        for g in get_family(name).instances(60, seed=2):
+            assert g.is_forest(), name
+            assert len(g.connected_components()) >= 2
+
+    def test_fragmented_forest_has_single_node_components(self):
+        g = get_family("fragmented_forest").instance(60, 0)
+        assert any(len(c) == 1 for c in g.connected_components())
+
+    def test_size_rejects_zero(self):
+        with pytest.raises(ValueError):
+            get_family("path").instance(0, 0)
+
+
+class TestGenerators:
+    def test_prufer_uniform_small_cases(self):
+        rng = random.Random(0)
+        assert prufer_tree(1, rng).n == 1
+        assert list(prufer_tree(2, rng).edges()) == [(0, 1)]
+        for _ in range(20):
+            assert prufer_tree(12, rng).is_tree()
+
+    def test_bounded_degree_respects_delta(self):
+        rng = random.Random(3)
+        for delta in (2, 3, 5):
+            g = bounded_degree_tree(120, rng, delta=delta)
+            assert g.is_tree()
+            assert g.max_degree() <= delta
+        with pytest.raises(ValueError):
+            bounded_degree_tree(5, rng, delta=1)
+
+    def test_caterpillar_and_spider_shapes(self):
+        rng = random.Random(9)
+        cat = caterpillar_tree(80, rng)
+        assert cat.is_tree() and cat.max_degree() <= 5
+        spi = spider_tree(80, rng)
+        assert spi.is_tree() and spi.degree(0) <= 8
+
+    def test_union_family_composition(self):
+        fam = union_family(
+            "test_union", [get_family("path"), get_family("cycle")]
+        )
+        g = fam.build(20, random.Random(0))
+        assert len(g.connected_components()) == 2
+        assert fam.degree_bound == 2
+        with pytest.raises(ValueError):
+            union_family("empty", [])
+
+
+class TestGraphConstructors:
+    def test_cycle_graph(self):
+        g = cycle_graph(5)
+        assert (g.n, g.m) == (5, 5)
+        assert all(g.degree(v) == 2 for v in g.nodes())
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert (g.n, g.m) == (12, 3 * 3 + 2 * 4)
+        assert g.max_degree() == 4
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+    def test_disjoint_union_offsets_and_inputs(self):
+        a = path_graph(3, inputs=["a0", "a1", "a2"])
+        b = path_graph(2, inputs=["b0", "b1"])
+        u = disjoint_union([a, b, Graph(1, [], inputs=["c0"])])
+        assert u.n == 6 and u.m == 3
+        assert sorted(u.edges()) == [(0, 1), (1, 2), (3, 4)]
+        assert u.inputs() == ["a0", "a1", "a2", "b0", "b1", "c0"]
+        assert [len(c) for c in u.connected_components()] == [3, 2, 1]
+        with pytest.raises(ValueError):
+            disjoint_union([])

@@ -1,0 +1,131 @@
+"""Fuzz ``LocalSimulator.run_batch`` atlas reuse against fresh runs.
+
+``run_batch`` shares a per-topology cache across ID samples: BFS layer
+lists for view algorithms, neighbour tuples for message algorithms.  The
+contract is that a cached (shared-layer) run is indistinguishable from a
+fresh per-run store — pinned here over seeded corpora drawn from the
+family generators, deliberately including disconnected graphs and
+single-node components (the shapes where frontier exhaustion and
+``sees_whole_component`` short-circuits are easiest to get wrong).
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms import CanonicalTwoColoring, ColeVishkin3Coloring
+from repro.families import get_family
+from repro.local import (
+    CONTINUE,
+    ENGINES,
+    Graph,
+    LocalAlgorithm,
+    LocalSimulator,
+    MessageAlgorithm,
+    disjoint_union,
+    path_graph,
+    random_ids,
+)
+
+
+def _corpus():
+    """Seeded graphs: random forests with singleton components, spiders,
+    caterpillars, plus a hand-built multi-singleton forest."""
+    cases = []
+    for name, n, seed in (
+        ("fragmented_forest", 40, 0),
+        ("fragmented_forest", 25, 7),
+        ("random_forest", 30, 1),
+        ("spider", 21, 2),
+        ("caterpillar", 18, 3),
+    ):
+        for i, g in enumerate(get_family(name).instances(n, seed=seed, count=2)):
+            cases.append((f"{name}-{n}-{seed}-{i}", g))
+    lonely = disjoint_union(
+        [Graph(1, []), path_graph(4), Graph(1, []), Graph(1, [])]
+    )
+    cases.append(("singletons", lonely))
+    return cases
+
+
+CORPUS = _corpus()
+
+
+class _MinIdRank(LocalAlgorithm):
+    """Commits once the whole component is visible; output = rank of own
+    ID inside the component (exercises ball contents, not just sizes)."""
+
+    name = "min-id-rank"
+
+    def decide(self, view, n):
+        if len(view.nodes()) < n and not view.sees_whole_component():
+            return CONTINUE
+        ids = sorted(view.id_of(u) for u in view.nodes())
+        return ids.index(view.id_of(view.center))
+
+
+class _DegreeSum2(MessageAlgorithm):
+    """Commits at round 2 with the sum of degrees at distance <= 2."""
+
+    name = "degree-sum-2"
+
+    def init_state(self, info, n):
+        return {"deg": info.degree, "sum": info.degree, "nbrs": info.neighbors}
+
+    def message(self, state, t):
+        return state["sum"] if t == 0 else state["deg"]
+
+    def transition(self, state, incoming, t):
+        if t == 0:
+            state["sum"] = state["deg"] + sum(incoming)
+        return state
+
+    def decide(self, state, t):
+        return state["sum"] if t >= 2 else CONTINUE
+
+
+def _id_samples(g, seed, k=3):
+    rng = random.Random(seed)
+    return [random_ids(g.n, rng=rng) for _ in range(k)]
+
+
+@pytest.mark.parametrize("name,graph", CORPUS, ids=[c[0] for c in CORPUS])
+@pytest.mark.parametrize("engine", ENGINES)
+def test_view_batch_equals_fresh_runs(name, graph, engine):
+    samples = _id_samples(graph, seed=hashlib_seed(name))
+    for algo_factory in (CanonicalTwoColoring, _MinIdRank):
+        sim = LocalSimulator(engine=engine)
+        batched = sim.run_batch(graph, algo_factory(), samples)
+        for ids, trace in zip(samples, batched):
+            fresh = sim.run(graph, algo_factory(), ids)
+            assert trace.rounds == fresh.rounds, (name, engine)
+            assert trace.outputs == fresh.outputs, (name, engine)
+
+
+@pytest.mark.parametrize("name,graph", CORPUS, ids=[c[0] for c in CORPUS])
+def test_message_batch_equals_fresh_runs(name, graph):
+    samples = _id_samples(graph, seed=hashlib_seed(name) + 1)
+    sim = LocalSimulator()
+    batched = sim.run_batch(graph, _DegreeSum2(), samples)
+    for ids, trace in zip(samples, batched):
+        fresh = sim.run(graph, _DegreeSum2(), ids)
+        assert trace.rounds == fresh.rounds, name
+        assert trace.outputs == fresh.outputs, name
+
+
+def test_message_batch_on_paths_matches_reference():
+    g = disjoint_union([path_graph(6), path_graph(3), Graph(1, [])])
+    samples = _id_samples(g, seed=99)
+    batched = LocalSimulator().run_batch(g, ColeVishkin3Coloring(), samples)
+    for ids, trace in zip(samples, batched):
+        ref = LocalSimulator(engine="reference").run(g, ColeVishkin3Coloring(), ids)
+        assert trace.rounds == ref.rounds
+        assert trace.outputs == ref.outputs
+
+
+def hashlib_seed(name: str) -> int:
+    import hashlib
+
+    return int.from_bytes(
+        hashlib.blake2b(name.encode(), digest_size=4).digest(), "big"
+    )

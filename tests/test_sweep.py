@@ -1,0 +1,133 @@
+"""SweepRunner: determinism across worker counts, registry, CLI.
+
+The headline acceptance criterion: a sweep with ``--workers 4`` must
+produce **byte-identical** JSON aggregates to ``--workers 1`` under a
+fixed seed (parallelism only changes wall-clock, never results).
+"""
+
+import json
+
+import pytest
+
+from repro.families import Family, get_family
+from repro.local import path_graph
+from repro.sweep import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    SweepRunner,
+    get_algorithm,
+    main,
+    register_algorithm,
+)
+
+
+class TestDeterminism:
+    def test_parallel_json_byte_identical_to_serial(self):
+        kwargs = dict(samples=2, instances=2)
+        args = (["random_tree", "fragmented_forest"], [16, 24], ["two_coloring"])
+        serial = SweepRunner(workers=1, **kwargs).run_json(*args, seed=3)
+        parallel = SweepRunner(workers=4, **kwargs).run_json(*args, seed=3)
+        assert serial == parallel
+        payload = json.loads(serial)
+        assert "workers" not in payload["spec"]
+        assert len(payload["cells"]) == 4
+        for cell in payload["cells"]:
+            assert cell["runs"] == 2 * 2
+            assert cell["node_averaged"]["max"] >= cell["node_averaged"]["mean"]
+            # actual built sizes are recorded (families may round target n)
+            assert 1 <= cell["instance_n"]["min"] <= cell["instance_n"]["max"]
+            assert cell["instance_n"]["max"] <= cell["n"]
+
+    def test_seed_changes_results(self):
+        runner = SweepRunner(samples=2, instances=2)
+        a = runner.run(["random_tree"], [20], ["two_coloring"], seed=0)
+        b = runner.run(["random_tree"], [20], ["two_coloring"], seed=1)
+        assert a["cells"] != b["cells"]
+
+    def test_fast_forward_agrees_with_simulator(self):
+        # the fast-forward registry entry replays the same algorithm the
+        # simulator executes; cell aggregates must coincide exactly
+        runner = SweepRunner(samples=2)
+        payload = runner.run(["path"], [17], ["two_coloring", "two_coloring_ff"])
+        sim, ff = payload["cells"]
+        assert sim["node_averaged"] == ff["node_averaged"]
+        assert sim["worst_case"] == ff["worst_case"]
+
+    def test_engines_agree(self):
+        args = (["spider"], [12], ["two_coloring"])
+        inc = SweepRunner(samples=2, engine="incremental").run(*args, seed=5)
+        ref = SweepRunner(samples=2, engine="reference").run(*args, seed=5)
+        assert inc["cells"][0]["node_averaged"] == ref["cells"][0]["node_averaged"]
+
+
+class TestRegistry:
+    def test_default_algorithms_present(self):
+        assert {"two_coloring", "cole_vishkin", "wait_whole_graph",
+                "two_coloring_ff", "cv3_path_ff"} <= set(ALGORITHMS)
+
+    def test_unknown_names_fail_fast(self):
+        runner = SweepRunner()
+        with pytest.raises(KeyError):
+            runner.run(["no_such_family"], [8], ["two_coloring"])
+        with pytest.raises(KeyError):
+            runner.run(["path"], [8], ["no_such_algorithm"])
+        with pytest.raises(KeyError):
+            get_algorithm("nope")
+
+    def test_algorithm_spec_needs_exactly_one_runner(self):
+        with pytest.raises(ValueError):
+            AlgorithmSpec("broken")
+        with pytest.raises(ValueError):
+            AlgorithmSpec("broken", factory=lambda n: None,
+                          fast_forward=lambda g, ids: None)
+        with pytest.raises(ValueError):
+            register_algorithm(ALGORITHMS["two_coloring"])
+
+    def test_ad_hoc_family_object_accepted(self):
+        fam = Family("adhoc_sweep_path",
+                     lambda n, rng: path_graph(n), degree_bound=2)
+        payload = SweepRunner(samples=1).run([fam], [9], ["two_coloring"])
+        assert payload["cells"][0]["family"] == "adhoc_sweep_path"
+        assert get_family("adhoc_sweep_path") is fam
+
+    def test_cv3_ff_rejects_non_paths(self):
+        spec = get_algorithm("cv3_path_ff")
+        from repro.local import star_graph
+
+        with pytest.raises(ValueError):
+            spec.fast_forward(star_graph(4), [1, 2, 3, 4, 5])
+
+    def test_runner_parameter_validation(self):
+        for bad in (dict(workers=0), dict(samples=0), dict(instances=0),
+                    dict(engine="warp")):
+            with pytest.raises(ValueError):
+                SweepRunner(**bad)
+        with pytest.raises(ValueError):
+            SweepRunner().run([], [8], ["two_coloring"])
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner().run(["path"], [8, 8], ["two_coloring"])
+        with pytest.raises(ValueError):
+            SweepRunner().run(["path", "path"], [8], ["two_coloring"])
+
+
+class TestCLI:
+    def test_writes_json_file(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        rc = main(["--family", "random_tree", "--sizes", "12",
+                   "--samples", "1", "--instances", "2",
+                   "--workers", "2", "--seed", "0", "--out", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["spec"]["families"] == ["random_tree"]
+        assert payload["cells"][0]["runs"] == 2
+        assert "family-sup" in capsys.readouterr().out
+
+    def test_stdout_and_comma_separated_lists(self, capsys):
+        rc = main(["--family", "path,spider", "--sizes", "8,12",
+                   "--samples", "1", "--instances", "1"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["families"] == ["path", "spider"]
+        assert len(payload["cells"]) == 4
