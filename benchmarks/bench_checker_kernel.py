@@ -1,0 +1,134 @@
+"""Checker kernel speedup — compiled CSR pass vs. per-node reference.
+
+Micro-benchmark for the :mod:`repro.lcl.kernel` split: verify *valid*
+labelings of n >= 50k instances through both paths and record wall-clock
+per workload in ``benchmarks/results/``.  Valid labelings are the honest
+workload — an invalid one spends its time building ``Violation`` objects
+on both paths (and the sweep hot path short-circuits those with
+``early_exit`` anyway).
+
+Gates:
+
+* the paper's central checker — k-hierarchical 2½-coloring — must be at
+  least 5x faster through the kernel on both a random tree and a grid
+  (the kernel's action tables + translate/bitmask fast path vs. the
+  reference per-node rule walk);
+* the d-free weight checker and the proper-coloring checker must be at
+  least 2x faster (their reference loops are already bare counting, so
+  the gather-based kernel wins less headroom);
+* kernel and reference must agree that every workload is valid, and
+  ``verify_batch`` over 5 labelings must not be slower than 5 separate
+  ``verify`` calls plus slack (the batch shares the per-graph compile).
+"""
+
+import math
+
+from harness import record_table, timed
+
+
+def best_of(repeats, fn, *args):
+    """Best-of-N wall clock — damps scheduler noise around the gates."""
+    result, wall = timed(fn, *args)
+    for _ in range(repeats - 1):
+        result, w = timed(fn, *args)
+        wall = min(wall, w)
+    return result, wall
+
+from repro.families import get_family
+from repro.lcl import (
+    Coloring25,
+    DFreeWeightProblem,
+    ProperColoring,
+    valid_coloring25,
+)
+from repro.lcl.dfree import W_INPUT
+
+N = 50_000
+MIN_SPEEDUP_COLORING = 5.0
+MIN_SPEEDUP_COUNTING = 2.0
+BATCH = 5
+
+
+def workloads():
+    tree = get_family("random_tree").instance(N, 0)
+    grid = get_family("grid").instance(N, 0)
+    rows = max(1, math.isqrt(N))
+    cols = N // rows
+    yield (
+        "coloring25/tree", Coloring25(3), tree,
+        valid_coloring25(tree, 3), MIN_SPEEDUP_COLORING,
+    )
+    yield (
+        "coloring25/grid", Coloring25(2), grid,
+        valid_coloring25(grid, 2), MIN_SPEEDUP_COLORING,
+    )
+    # all-Copy on a tree exercises P2 Decline counting at every node
+    yield (
+        "dfree/tree", DFreeWeightProblem(5, 2),
+        get_family("random_tree").instance(N, 1).with_inputs([W_INPUT] * N),
+        ["Copy"] * N, MIN_SPEEDUP_COUNTING,
+    )
+    # all-Connect on a grid exercises P1 support counting at every node
+    yield (
+        "dfree/grid", DFreeWeightProblem(5, 2),
+        grid.with_inputs([W_INPUT] * grid.n),
+        ["Connect"] * grid.n, MIN_SPEEDUP_COUNTING,
+    )
+    yield (
+        "proper2/grid", ProperColoring(2), grid,
+        [(v // cols + v % cols) % 2 for v in range(grid.n)],
+        MIN_SPEEDUP_COUNTING,
+    )
+
+
+def test_checker_kernel_speedup():
+    rows = []
+    notes = []
+    failures = []
+    batch_note_done = False
+    for name, problem, graph, outputs, gate in workloads():
+        kernel = problem.compiled()
+        # warm both paths: reference caches levels, kernel compiles the
+        # graph — the timed comparison is pure scan vs. pure scan
+        ref_result = problem.verify_reference(graph, outputs)
+        kernel_result = kernel.verify(graph, outputs)
+        assert ref_result.valid, (name, ref_result.violations[:3])
+        assert kernel_result.valid, (name, kernel_result.violations[:3])
+
+        _, wall_ref = best_of(5, problem.verify_reference, graph, outputs)
+        _, wall_kernel = best_of(5, kernel.verify, graph, outputs)
+        speedup = wall_ref / wall_kernel
+        rows.append((
+            name, graph.n, f"{wall_ref:.4f}", f"{wall_kernel:.4f}",
+            f"{speedup:.1f}", f"{gate:.0f}",
+        ))
+        if speedup < gate:
+            failures.append(f"{name}: {speedup:.1f}x < {gate:.0f}x")
+
+        if not batch_note_done:
+            batch_results, wall_batch = best_of(
+                3, kernel.verify_batch, graph, [outputs] * BATCH
+            )
+            assert all(r.valid for r in batch_results)
+            notes.append(
+                f"verify_batch({BATCH}) on {name}: {wall_batch:.4f}s vs "
+                f"{BATCH}x verify {BATCH * wall_kernel:.4f}s"
+            )
+            assert wall_batch <= BATCH * wall_kernel * 2.0, (
+                "verify_batch slower than repeated verify"
+            )
+            batch_note_done = True
+
+    notes.append(
+        f"gates: coloring >= {MIN_SPEEDUP_COLORING:.0f}x, "
+        f"counting checkers >= {MIN_SPEEDUP_COUNTING:.0f}x "
+        "(kernel / reference, valid labelings)"
+    )
+    record_table(
+        "checker_kernel",
+        f"Checker kernel speedup on n>={N} instances",
+        ["workload", "n", "ref_s", "kernel_s", "speedup", "gate"],
+        rows,
+        notes=notes,
+    )
+    assert not failures, "; ".join(failures)

@@ -9,8 +9,11 @@ generators for the families the benchmarks sweep over:
 * deterministic shapes — paths, cycles, grids, stars, complete binary
   trees — that yield one canonical instance per size;
 * seeded random shapes — uniform random trees (Prüfer decode),
-  bounded-degree random trees, caterpillars, spiders — that yield many
-  instances per ``(n, seed)``;
+  bounded-degree random trees, caterpillars, spiders, random regular
+  graphs (configuration model) — that yield many instances per
+  ``(n, seed)``;
+* deterministic non-tree constant-ish-degree shapes — hypercubes — that
+  stress the checker kernel and sweeps away from the tree setting;
 * disjoint-union compositions of any of the above (forests with small and
   single-node components, the shapes that stress ``run_batch`` caching).
 
@@ -55,6 +58,8 @@ __all__ = [
     "bounded_degree_tree",
     "caterpillar_tree",
     "spider_tree",
+    "random_regular",
+    "hypercube_graph",
 ]
 
 
@@ -192,6 +197,59 @@ def spider_tree(n: int, rng: random.Random, max_legs: int = 8) -> Graph:
     return Graph(n, edges)
 
 
+def random_regular(n: int, rng: random.Random, d: int = 3) -> Graph:
+    """A random ``d``-regular simple graph via the configuration model.
+
+    ``d`` stubs per node are paired uniformly at random; pairings with
+    self-loops or parallel edges are rejected and redrawn (for constant
+    ``d`` a pairing is simple with probability ``~exp(-(d^2-1)/4)``, so a
+    handful of attempts suffice).  The target size is rounded up to the
+    smallest feasible ``n' >= max(n, d+1)`` with ``n' * d`` even — like
+    ``grid``, the built size may differ from the target.
+    """
+    if d < 2:
+        raise ValueError("d must be >= 2")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    size = max(n, d + 1)
+    if (size * d) % 2:
+        size += 1
+    for _ in range(10_000):
+        stubs = [v for v in range(size) for _ in range(d)]
+        rng.shuffle(stubs)
+        edges = []
+        seen = set()
+        simple = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            key = (u, v) if u < v else (v, u)
+            if u == v or key in seen:
+                simple = False
+                break
+            seen.add(key)
+            edges.append(key)
+        if simple:
+            return Graph(size, edges)
+    raise RuntimeError(  # pragma: no cover - probability ~0
+        f"no simple {d}-regular pairing found for n={size}"
+    )
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube ``Q_dim``: ``2^dim`` nodes,
+    neighbours differ in exactly one bit."""
+    if dim < 0:
+        raise ValueError("dim must be >= 0")
+    n = 1 << dim
+    edges = [
+        (v, v | (1 << b))
+        for v in range(n)
+        for b in range(dim)
+        if not v & (1 << b)
+    ]
+    return Graph(n, edges)
+
+
 # ----------------------------------------------------------------------
 # deterministic shapes (the rng parameter is part of the uniform builder
 # signature and is deliberately unused)
@@ -218,6 +276,11 @@ def _build_grid(n: int, rng: random.Random) -> Graph:
     """The most-square grid with at most ``n`` nodes."""
     rows = max(1, math.isqrt(n))
     return grid_graph(rows, max(1, n // rows))
+
+
+def _build_hypercube(n: int, rng: random.Random) -> Graph:
+    """The largest hypercube with at most ``max(2, n)`` nodes."""
+    return hypercube_graph(max(2, n).bit_length() - 1)
 
 
 # ----------------------------------------------------------------------
@@ -299,6 +362,12 @@ _SPIDER = Family(
     "spider", spider_tree, degree_bound=8, default_count=4,
     description="centre with up to 8 random-length legs",
 )
+_RANDOM_REGULAR = Family(
+    "random_regular_d3",
+    lambda n, rng: random_regular(n, rng, d=3),
+    degree_bound=3, default_count=4,
+    description="random 3-regular simple graph (configuration model)",
+)
 
 for _family in (
     Family("path", _build_path, degree_bound=2,
@@ -311,10 +380,13 @@ for _family in (
            description="largest complete binary tree with <= n nodes"),
     Family("grid", _build_grid, degree_bound=4,
            description="most-square grid with <= n nodes"),
+    Family("hypercube", _build_hypercube, degree_bound=None,
+           description="largest hypercube with <= n nodes"),
     _RANDOM_TREE,
     _BOUNDED_TREE,
     _CATERPILLAR,
     _SPIDER,
+    _RANDOM_REGULAR,
     union_family(
         "random_forest", [_RANDOM_TREE, _BOUNDED_TREE, _SPIDER]
     ),

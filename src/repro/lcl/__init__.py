@@ -14,6 +14,7 @@ from .hierarchical import (
     R,
     W,
     Y,
+    valid_coloring25,
 )
 from .blackwhite import BlackWhiteLCL, two_color_tree
 from .labeling import (
@@ -26,8 +27,10 @@ from .labeling import (
     label_order,
     rake_label,
 )
+from .kernel import CompiledChecker, Verifier, compile_checker
 from .levels import compute_levels, level_paths, nodes_of_level
 from .problem import LCLProblem, LCLResult, Violation
+from .proper import ProperColoring
 from .weighted import (
     ACTIVE,
     CONNECT,
@@ -47,11 +50,14 @@ __all__ = [
     "count_copies",
     "B", "COLORS_2", "COLORS_3", "Coloring25", "Coloring35",
     "D", "E", "G", "HierarchicalColoring", "R", "W", "Y",
+    "valid_coloring25",
     "BlackWhiteLCL", "two_color_tree",
     "HierarchicalLabeling", "SECONDARY_DECLINE", "WeightAugmented25",
     "compress_label", "is_compress", "is_rake", "label_order", "rake_label",
+    "CompiledChecker", "Verifier", "compile_checker",
     "compute_levels", "level_paths", "nodes_of_level",
     "LCLProblem", "LCLResult", "Violation",
+    "ProperColoring",
     "ACTIVE", "CONNECT", "COPY", "DECLINE", "WEIGHT",
     "Weighted25", "Weighted35", "WeightedColoring",
     "connect", "copy_of", "decline",

@@ -31,9 +31,19 @@ BLACK = "B"
 class BlackWhiteLCL:
     """A black-white LCL with predicate-style constraints.
 
-    ``constraint_white`` / ``constraint_black`` take the sorted tuple of
-    incident ``(input, output)`` pairs of a node and return whether it is
-    allowed.  ``radius`` is 1 by construction.
+    ``constraint_white`` / ``constraint_black`` take the canonicalized
+    tuple of incident ``(input, output)`` pairs of a node and return
+    whether it is allowed; they must be pure functions of the pair
+    *multiset* (order-insensitive).  ``radius`` is 1 by construction.
+
+    Multiset canonicalization interns each distinct pair (by equality) to
+    a stable index and sorts by index — never by ``repr``, whose ordering
+    can disagree with equality on mixed-type labels (two unequal labels
+    with colliding reprs would make equal multisets canonicalize
+    differently depending on input order).  Constraint verdicts are
+    memoized per ``(color, canonical multiset)``, so the verification
+    kernel and the Section-11 gap machinery each evaluate every distinct
+    neighbourhood type exactly once per problem instance.
     """
 
     def __init__(
@@ -49,10 +59,38 @@ class BlackWhiteLCL:
         self.sigma_out: Tuple = tuple(sigma_out)
         self._cw = constraint_white
         self._cb = constraint_black
+        self._pair_index: dict = {}
+        self._pair_list: List[Pair] = []
+        self._allow_memo: dict = {}
+
+    def _canonical_indices(self, pairs: Sequence[Pair]) -> Tuple[int, ...]:
+        """Sorted interned indices — a canonical multiset key such that
+        equal pair multisets (under ``==``) always coincide."""
+        index = self._pair_index
+        idxs = []
+        for p in pairs:
+            i = index.get(p)
+            if i is None:
+                i = index[p] = len(self._pair_list)
+                self._pair_list.append(p)
+            idxs.append(i)
+        idxs.sort()
+        return tuple(idxs)
+
+    def canonical_pairs(self, pairs: Sequence[Pair]) -> Tuple[Pair, ...]:
+        """The pairs in canonical (interned-index) order."""
+        pair_list = self._pair_list
+        return tuple(pair_list[i] for i in self._canonical_indices(pairs))
 
     def allows(self, color: str, pairs: Sequence[Pair]) -> bool:
-        key = tuple(sorted(pairs, key=repr))
-        return self._cw(key) if color == WHITE else self._cb(key)
+        key = (color == WHITE, self._canonical_indices(pairs))
+        hit = self._allow_memo.get(key)
+        if hit is None:
+            pair_list = self._pair_list
+            canon = tuple(pair_list[i] for i in key[1])
+            hit = self._cw(canon) if key[0] else self._cb(canon)
+            self._allow_memo[key] = hit
+        return hit
 
     # ------------------------------------------------------------------
     def verify(
@@ -61,9 +99,37 @@ class BlackWhiteLCL:
         colors: Sequence[str],
         edge_inputs,
         edge_outputs,
+        early_exit: bool = False,
     ) -> LCLResult:
-        """Verify an edge labeling.  ``edge_inputs`` / ``edge_outputs``
-        map frozenset({u, v}) -> label."""
+        """Verify an edge labeling through the CSR kernel.
+
+        ``edge_inputs`` / ``edge_outputs`` map ``frozenset({u, v})`` to a
+        label.  See :class:`repro.lcl.kernel.CompiledBlackWhite` for the
+        flat-array pass; :meth:`verify_reference` is the per-node oracle.
+        """
+        return self.compiled().verify(
+            graph, edge_outputs, colors=colors, edge_inputs=edge_inputs,
+            early_exit=early_exit,
+        )
+
+    def compiled(self):
+        """This problem's cached kernel checker."""
+        try:
+            return self._compiled_checker
+        except AttributeError:
+            from .kernel import CompiledBlackWhite
+
+            self._compiled_checker = CompiledBlackWhite(self)
+            return self._compiled_checker
+
+    def verify_reference(
+        self,
+        graph: Graph,
+        colors: Sequence[str],
+        edge_inputs,
+        edge_outputs,
+    ) -> LCLResult:
+        """The legacy per-node verification loop (differential oracle)."""
         violations: List[Violation] = []
         for u, v in graph.edges():
             if colors[u] == colors[v]:
@@ -83,7 +149,8 @@ class BlackWhiteLCL:
                 pairs.append((i, o))
             if not self.allows(colors[v], pairs):
                 violations.append(
-                    Violation(v, f"{colors[v]}-constraint", repr(tuple(sorted(pairs, key=repr))))
+                    Violation(v, f"{colors[v]}-constraint",
+                              repr(self.canonical_pairs(pairs)))
                 )
         return LCLResult(violations)
 

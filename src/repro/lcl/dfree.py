@@ -13,6 +13,11 @@ Quality of a solution is measured by how *few* nodes output ``Copy`` —
 Lemma 23 lower-bounds this by ``w^x`` per attached tree with
 ``x = log(Delta-1-d)/log(Delta-1)``, and Lemma 40 shows Algorithm A gets
 within a factor 6 of that.
+
+``verify`` runs through the compiled CSR kernel
+(:class:`repro.lcl.kernel.CompiledDFree`, which lowers the neighbour
+tallies to ``bytes.count`` over a flat gather); ``check_node`` below is
+the reference oracle.
 """
 
 from __future__ import annotations

@@ -20,6 +20,11 @@ The 2½ family has worst-case complexity ``Theta(n^{1/k})`` [CP19] and
 node-averaged ``Theta(n^{1/(2^k - 1)})`` [BBK+23b]; the 3½ family has
 worst-case ``Theta(log* n)`` (Corollary 10) and node-averaged
 ``Theta((log* n)^{1/2^{k-1}})`` (Theorem 11).
+
+``verify`` runs through the compiled CSR kernel
+(:class:`repro.lcl.kernel.CompiledHierarchicalColoring`, which lowers
+these rules to ``(level, label)`` action tables); the per-node
+``check_node`` path below stays as the reference oracle.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ __all__ = [
     "HierarchicalColoring",
     "Coloring25",
     "Coloring35",
+    "valid_coloring25",
 ]
 
 W, B, E, D = "W", "B", "E", "D"
@@ -154,6 +160,29 @@ class HierarchicalColoring(LCLProblem):
                     self.check_node_with_levels(graph, levels, outputs, v)
                 )
         return LCLResult(violations)
+
+
+def valid_coloring25(graph: Graph, k: int) -> List[str]:
+    """A canonical valid k-hierarchical 2½-coloring: ``D`` below level
+    ``k`` (making the E-iff rule vacuous), ``W``/``B`` alternating along
+    the level-``k`` paths, ``E`` at level ``k+1``.
+
+    Valid whenever every level-``k`` component is a path — trees and
+    grids qualify; a graph whose level-``k`` nodes form an odd cycle does
+    not.  Benchmark and test call sites assert validity through the
+    checker.
+    """
+    from .levels import compute_levels, level_paths
+
+    levels = compute_levels(graph, k)
+    out = [D] * graph.n
+    for v in range(graph.n):
+        if levels[v] == k + 1:
+            out[v] = E
+    for path in level_paths(graph, levels, k):
+        for i, v in enumerate(path):
+            out[v] = COLORS_2[i % 2]
+    return out
 
 
 class Coloring25(HierarchicalColoring):

@@ -209,7 +209,7 @@ class WeightAugmented25(LCLProblem):
         self.sigma_in = frozenset({ACTIVE, WEIGHT})
         self.name = f"{k}-hierarchical weight-augmented 2.5-coloring"
 
-    def verify(self, graph: Graph, outputs: Sequence) -> LCLResult:
+    def verify_reference(self, graph: Graph, outputs: Sequence) -> LCLResult:
         if len(outputs) != graph.n:
             raise ValueError("outputs length must equal graph.n")
         violations: List[Violation] = []

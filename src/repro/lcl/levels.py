@@ -11,6 +11,11 @@ Levels are assigned by iterated peeling of low-degree nodes:
 A node can determine its own level in ``O(k)`` LOCAL rounds (the peeling is
 a local process), which is why the k-hierarchical problems are LCLs with
 checkability radius ``O(k)``.
+
+Levels depend only on the instance (graph + input restriction), never on
+outputs, so the verification kernel (:mod:`repro.lcl.kernel`) computes
+them once per graph in its compile step and shares them across every
+labeling of a ``verify_batch``.
 """
 
 from __future__ import annotations

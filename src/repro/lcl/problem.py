@@ -11,6 +11,13 @@ throughout this library — is a *local checker*: a predicate
 of ``v``.  Each problem family in this package documents its radius and
 implements the checker; :class:`Violation` records failures for diagnostics
 and failure-injection tests.
+
+Verification runs on two paths.  ``verify``/``verify_batch`` lower the
+problem to :mod:`repro.lcl.kernel`'s flat-array CSR pass (interned label
+codes, per-graph compile cache, optional ``early_exit``);
+``verify_reference`` keeps the literal per-node ``check_node`` loop as the
+cross-check oracle, exactly like the simulator's incremental/reference
+engine split.
 """
 
 from __future__ import annotations
@@ -86,8 +93,59 @@ class LCLProblem:
     def output_in_alphabet(self, label) -> bool:
         return label in self.sigma_out
 
-    def verify(self, graph: Graph, outputs: Sequence) -> LCLResult:
-        """Run the full local verification over all nodes."""
+    def verify(
+        self, graph: Graph, outputs: Sequence, early_exit: bool = False
+    ) -> LCLResult:
+        """Verify a labeling through the compiled CSR kernel.
+
+        Problems with a registered lowering (every family in this
+        package) verify through :mod:`repro.lcl.kernel`'s flat-array
+        pass; unknown subclasses fall back to the per-node reference
+        path.  ``early_exit`` stops at the first violation instead of
+        materializing the full violation list.
+        """
+        checker = self.compiled()
+        if checker is not None:
+            return checker.verify(graph, outputs, early_exit=early_exit)
+        result = self.verify_reference(graph, outputs)
+        if early_exit:
+            return LCLResult(result.violations[:1])
+        return result
+
+    def verify_batch(
+        self,
+        graph: Graph,
+        outputs_list: Sequence[Sequence],
+        early_exit: bool = False,
+    ) -> List[LCLResult]:
+        """Verify many labelings of one graph, amortizing the per-graph
+        compile work (levels, input partition, interners) across the
+        batch — the shape ``LocalSimulator.run_batch`` produces."""
+        checker = self.compiled()
+        if checker is not None:
+            return checker.verify_batch(graph, outputs_list,
+                                        early_exit=early_exit)
+        return [
+            self.verify(graph, outputs, early_exit=early_exit)
+            for outputs in outputs_list
+        ]
+
+    def compiled(self):
+        """This problem's cached kernel :class:`~repro.lcl.kernel.CompiledChecker`
+        (None when no lowering is registered for the exact type)."""
+        try:
+            return self._compiled_checker
+        except AttributeError:
+            from .kernel import compile_checker
+
+            self._compiled_checker = compile_checker(self)
+            return self._compiled_checker
+
+    def verify_reference(self, graph: Graph, outputs: Sequence) -> LCLResult:
+        """The legacy per-node verification path: alphabet pass, then
+        ``check_node`` over every node.  Kept as the executable
+        definition of the constraint — the oracle the kernel is
+        differentially tested against."""
         if len(outputs) != graph.n:
             raise ValueError("outputs length must equal graph.n")
         violations = self.validate_alphabet(graph, outputs)

@@ -1,0 +1,41 @@
+"""Proper c-coloring — the textbook radius-1 LCL.
+
+Not one of the paper's bespoke families, but the constraint the sweep
+registry's symmetry-breaking algorithms (canonical 2-coloring,
+Cole-Vishkin 3-coloring) actually solve: adjacent nodes get distinct
+colors from ``{0, ..., c-1}``.  Registering it as an
+:class:`~repro.lcl.problem.LCLProblem` lets ``repro.sweep`` pipe every
+produced labeling through the verification kernel and report per-cell
+validity counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..local.graph import Graph
+from .problem import LCLProblem, Violation
+
+__all__ = ["ProperColoring"]
+
+
+class ProperColoring(LCLProblem):
+    """Proper node coloring with ``colors`` colors; checkability radius 1."""
+
+    radius = 1
+
+    def __init__(self, colors: int) -> None:
+        if colors < 1:
+            raise ValueError("colors must be >= 1")
+        self.colors = colors
+        self.sigma_out = frozenset(range(colors))
+        self.name = f"proper {colors}-coloring"
+
+    def check_node(self, graph: Graph, outputs: Sequence, v: int) -> List[Violation]:
+        bad: List[Violation] = []
+        for w in graph.neighbors(v):
+            if outputs[w] == outputs[v]:
+                bad.append(Violation(
+                    v, "proper: adjacent equal colors", f"({v},{w})"
+                ))
+        return bad

@@ -98,7 +98,7 @@ class WeightedColoring(LCLProblem):
         active = [v for v in graph.nodes() if graph.input_of(v) == ACTIVE]
         return compute_levels(graph, self.k, restrict=active)
 
-    def verify(self, graph: Graph, outputs: Sequence) -> LCLResult:
+    def verify_reference(self, graph: Graph, outputs: Sequence) -> LCLResult:
         if len(outputs) != graph.n:
             raise ValueError("outputs length must equal graph.n")
         violations: List[Violation] = []

@@ -11,6 +11,17 @@ BFS-layer atlas is shared across the ID samples of an instance), and
 aggregates ``max``/``mean`` of the node-averaged and worst-case
 complexity per cell.
 
+Validity
+--------
+Complexity numbers are only meaningful for *correct* labelings, so every
+algorithm that declares the LCL it solves (``AlgorithmSpec.problem``) has
+each produced labeling verified through the compiled checker kernel
+(:mod:`repro.lcl.kernel`; ``verify_batch`` amortizes the per-graph
+compile across the instance's ID samples, ``early_exit`` keeps invalid
+labelings cheap).  Cells report ``validity: {valid, violations}`` run
+counts — ``null`` for algorithms without a declared problem — and
+``python -m repro.sweep --check`` exits nonzero on any violation.
+
 Parallelism and determinism
 ---------------------------
 Work is chunked *by instance*: one task = one ``(family, n, instance,
@@ -74,11 +85,18 @@ class AlgorithmSpec:
     ``LocalSimulator.run_batch`` (the default path), while
     ``fast_forward(graph, ids)`` computes the same trace centrally for
     algorithms whose simulator runs would be infeasible at sweep sizes.
+
+    ``problem(n)`` optionally names the LCL the algorithm solves: a
+    factory returning a :class:`repro.lcl.kernel.Verifier` (any ported
+    :class:`~repro.lcl.problem.LCLProblem`).  When set, the sweep pipes
+    every produced labeling through ``verify_batch`` on the compiled
+    checker kernel and reports per-cell validity counts.
     """
 
     name: str
     factory: Optional[Callable[[int], object]] = None
     fast_forward: Optional[Callable[[Graph, List[int]], ExecutionTrace]] = None
+    problem: Optional[Callable[[int], object]] = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -120,6 +138,15 @@ def _make_cole_vishkin(n: int):
     return ColeVishkin3Coloring()
 
 
+def _proper_coloring_problem(colors: int):
+    from .lcl import ProperColoring
+
+    def make(n: int):
+        return ProperColoring(colors)
+
+    return make
+
+
 def _make_wait_whole_graph(n: int):
     from .algorithms import WaitForWholeGraph
 
@@ -149,14 +176,18 @@ def _cv3_path_fast_forward(graph: Graph, ids: List[int]) -> ExecutionTrace:
 
 for _spec in (
     AlgorithmSpec("two_coloring", factory=_make_two_coloring,
+                  problem=_proper_coloring_problem(2),
                   description="canonical 2-coloring of forests (Theta(n) avg)"),
     AlgorithmSpec("cole_vishkin", factory=_make_cole_vishkin,
+                  problem=_proper_coloring_problem(3),
                   description="Cole-Vishkin 3-coloring (max degree <= 2)"),
     AlgorithmSpec("wait_whole_graph", factory=_make_wait_whole_graph,
                   description="gather-everything baseline (Theta(diameter))"),
     AlgorithmSpec("two_coloring_ff", fast_forward=_two_coloring_fast_forward,
+                  problem=_proper_coloring_problem(2),
                   description="fast-forward canonical 2-coloring"),
     AlgorithmSpec("cv3_path_ff", fast_forward=_cv3_path_fast_forward,
+                  problem=_proper_coloring_problem(3),
                   description="fast-forward Cole-Vishkin on canonical paths"),
 ):
     register_algorithm(_spec)
@@ -175,6 +206,7 @@ class _Task:
     samples: int
     seed: int
     engine: str
+    check: bool
 
 
 def _sample_seed(family: str, n: int, seed: int, index: int, sample: int) -> int:
@@ -186,11 +218,16 @@ def _sample_seed(family: str, n: int, seed: int, index: int, sample: int) -> int
     return int.from_bytes(digest, "big")
 
 
-def _run_task(task: _Task) -> Tuple[int, List[Tuple[float, int]]]:
+def _run_task(
+    task: _Task,
+) -> Tuple[int, List[Tuple[float, int]], Optional[List[bool]]]:
     """One (instance, algorithm) unit: rebuild the graph from its seed,
     run all ID samples (sharing the topology atlas via ``run_batch``),
-    return the instance's actual node count plus per-sample
-    ``(node_averaged, worst_case)``."""
+    return the instance's actual node count, per-sample
+    ``(node_averaged, worst_case)``, and — when the algorithm declares
+    its LCL and checking is on — per-sample validity verdicts from the
+    checker kernel (``verify_batch`` shares the per-graph compile across
+    the ID samples; ``early_exit`` keeps invalid labelings cheap)."""
     family = get_family(task.family)
     graph = family.instance(task.n, task.seed, task.index)
     id_samples = [
@@ -206,7 +243,20 @@ def _run_task(task: _Task) -> Tuple[int, List[Tuple[float, int]]]:
         traces = LocalSimulator(engine=task.engine).run_batch(
             graph, algorithm, id_samples
         )
-    return graph.n, [(t.node_averaged(), t.worst_case()) for t in traces]
+    valid: Optional[List[bool]] = None
+    if task.check and spec.problem is not None:
+        verifier = spec.problem(graph.n)
+        valid = [
+            bool(result)
+            for result in verifier.verify_batch(
+                graph, [t.outputs for t in traces], early_exit=True
+            )
+        ]
+    return (
+        graph.n,
+        [(t.node_averaged(), t.worst_case()) for t in traces],
+        valid,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +277,11 @@ class SweepRunner:
         ``default_count``.
     engine:
         Simulator engine for factory-based algorithms.
+    check:
+        Verify every produced labeling against the algorithm's declared
+        LCL (``AlgorithmSpec.problem``) through the compiled checker
+        kernel and record per-cell validity counts.  Algorithms without
+        a declared problem report ``validity: null``.
     """
 
     def __init__(
@@ -235,6 +290,7 @@ class SweepRunner:
         samples: int = 3,
         instances: Optional[int] = None,
         engine: str = "incremental",
+        check: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -248,6 +304,7 @@ class SweepRunner:
         self.samples = samples
         self.instances = instances
         self.engine = engine
+        self.check = check
 
     # ------------------------------------------------------------------
     def run(
@@ -285,7 +342,7 @@ class SweepRunner:
                         tasks.append(_Task(
                             family=name, n=n, index=index, algorithm=algo,
                             samples=self.samples, seed=seed,
-                            engine=self.engine,
+                            engine=self.engine, check=self.check,
                         ))
         if len(set(cells)) != len(cells):
             raise ValueError(
@@ -301,10 +358,17 @@ class SweepRunner:
         cell_sizes: Dict[Tuple[str, int, str], List[int]] = {
             cell: [] for cell in cells
         }
-        for task, (instance_n, runs) in zip(tasks, results):
+        cell_valid: Dict[Tuple[str, int, str], Optional[List[bool]]] = {
+            cell: [] for cell in cells
+        }
+        for task, (instance_n, runs, valid) in zip(tasks, results):
             key = (task.family, task.n, task.algorithm)
             per_cell[key].extend(runs)
             cell_sizes[key].append(instance_n)
+            if valid is None:
+                cell_valid[key] = None
+            elif cell_valid[key] is not None:
+                cell_valid[key].extend(valid)
 
         payload_cells = []
         for (name, n, algo) in cells:
@@ -312,6 +376,7 @@ class SweepRunner:
             avgs = [avg for avg, _ in runs]
             worsts = [worst for _, worst in runs]
             sizes_seen = cell_sizes[(name, n, algo)]
+            valid = cell_valid[(name, n, algo)]
             payload_cells.append({
                 "family": name,
                 "n": n,
@@ -328,6 +393,11 @@ class SweepRunner:
                     "max": max(worsts),
                     "mean": sum(worsts) / len(worsts),
                 },
+                # null when the algorithm declares no LCL (or check=False)
+                "validity": None if valid is None else {
+                    "valid": sum(1 for ok in valid if ok),
+                    "violations": sum(1 for ok in valid if not ok),
+                },
             })
 
         return {
@@ -342,6 +412,7 @@ class SweepRunner:
                 },
                 "seed": seed,
                 "engine": self.engine,
+                "check": self.check,
                 # deliberately no worker count: the payload must be
                 # byte-identical for any parallelism level
             },
@@ -363,7 +434,7 @@ class SweepRunner:
     # ------------------------------------------------------------------
     def _map(
         self, tasks: List[_Task]
-    ) -> List[Tuple[int, List[Tuple[float, int]]]]:
+    ) -> List[Tuple[int, List[Tuple[float, int]], Optional[List[bool]]]]:
         if self.workers == 1 or len(tasks) <= 1:
             return [_run_task(t) for t in tasks]
         try:
@@ -429,6 +500,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--engine", choices=list(ENGINES),
                         default="incremental",
                         help="simulator engine (default: incremental)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate on validity: exit nonzero if any produced "
+                        "labeling violates its algorithm's declared LCL")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write JSON here instead of stdout")
     args = parser.parse_args(argv)
@@ -442,16 +516,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         instances=args.instances, engine=args.engine,
     )
     text = runner.run_json(families, args.sizes, args.algorithms, args.seed)
+    payload = json.loads(text)
+    cells = payload["cells"]
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text)
-        payload = json.loads(text)
-        cells = payload["cells"]
         sup = max(c["node_averaged"]["max"] for c in cells)
         print(f"wrote {args.out}: {len(cells)} cells, "
               f"family-sup node-averaged = {sup:.2f}")
     else:
         sys.stdout.write(text)
+
+    if args.check:
+        checked = [c for c in cells if c["validity"] is not None]
+        violations = sum(c["validity"]["violations"] for c in checked)
+        unchecked = len(cells) - len(checked)
+        summary = (
+            f"validity: {sum(c['validity']['valid'] for c in checked)} valid, "
+            f"{violations} violating run(s) across {len(checked)} checked "
+            f"cell(s)"
+        )
+        if unchecked:
+            summary += f"; {unchecked} cell(s) declare no LCL (unchecked)"
+        print(summary, file=sys.stderr)
+        if violations:
+            return 1
     return 0
 
 

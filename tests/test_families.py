@@ -14,7 +14,9 @@ from repro.families import (
     bounded_degree_tree,
     caterpillar_tree,
     get_family,
+    hypercube_graph,
     prufer_tree,
+    random_regular,
     register_family,
     spider_tree,
     union_family,
@@ -39,6 +41,7 @@ class TestRegistry:
             "path", "cycle", "star", "grid", "complete_binary_tree",
             "random_tree", "bounded_tree_d3", "caterpillar", "spider",
             "random_forest", "fragmented_forest",
+            "random_regular_d3", "hypercube",
         }
         assert expected <= set(FAMILIES)
 
@@ -127,6 +130,38 @@ class TestGenerators:
         assert cat.is_tree() and cat.max_degree() <= 5
         spi = spider_tree(80, rng)
         assert spi.is_tree() and spi.degree(0) <= 8
+
+    def test_random_regular_is_regular_and_simple(self):
+        rng = random.Random(5)
+        for n, d in ((10, 3), (33, 4), (64, 3)):
+            g = random_regular(n, rng, d=d)
+            assert all(g.degree(v) == d for v in g.nodes()), (n, d)
+            # Graph() rejects self-loops/duplicates at build time; round-trip
+            Graph(g.n, list(g.edges()))
+        with pytest.raises(ValueError):
+            random_regular(10, rng, d=1)
+
+    def test_random_regular_rounds_to_feasible_size(self):
+        rng = random.Random(6)
+        # n * d odd -> bumped by one; tiny n -> bumped to d + 1
+        assert random_regular(9, rng, d=3).n == 10
+        assert random_regular(1, rng, d=3).n == 4
+        assert random_regular(7, rng, d=4).n == 7
+
+    def test_hypercube_structure(self):
+        g = hypercube_graph(4)
+        assert (g.n, g.m) == (16, 32)
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        for u, v in g.edges():
+            assert bin(u ^ v).count("1") == 1
+        assert hypercube_graph(0).n == 1
+        with pytest.raises(ValueError):
+            hypercube_graph(-1)
+
+    def test_hypercube_family_rounds_down_to_power_of_two(self):
+        fam = get_family("hypercube")
+        assert fam.instance(97, 0).n == 64
+        assert fam.instance(1, 0).n == 2
 
     def test_union_family_composition(self):
         fam = union_family(

@@ -37,6 +37,8 @@ class TestDeterminism:
             # actual built sizes are recorded (families may round target n)
             assert 1 <= cell["instance_n"]["min"] <= cell["instance_n"]["max"]
             assert cell["instance_n"]["max"] <= cell["n"]
+            # two_coloring declares its LCL, so every run is verified
+            assert cell["validity"] == {"valid": 4, "violations": 0}
 
     def test_seed_changes_results(self):
         runner = SweepRunner(samples=2, instances=2)
@@ -110,6 +112,80 @@ class TestRegistry:
             SweepRunner().run(["path"], [8, 8], ["two_coloring"])
         with pytest.raises(ValueError):
             SweepRunner().run(["path", "path"], [8], ["two_coloring"])
+
+
+def _register_bad_coloring(name):
+    """A deliberately invalid 'solver': constant color 0 everywhere."""
+    from repro.local.metrics import ExecutionTrace
+    from repro.sweep import _proper_coloring_problem
+
+    def bad_ff(graph, ids):
+        return ExecutionTrace(rounds=[1] * graph.n, outputs=[0] * graph.n,
+                              algorithm=name)
+
+    if name not in ALGORITHMS:
+        register_algorithm(AlgorithmSpec(
+            name, fast_forward=bad_ff,
+            problem=_proper_coloring_problem(2),
+        ))
+    return name
+
+
+class TestValidity:
+    def test_unchecked_algorithm_reports_null(self):
+        payload = SweepRunner(samples=1).run(
+            ["path"], [9], ["wait_whole_graph"])
+        assert payload["cells"][0]["validity"] is None
+
+    def test_check_false_disables_verification(self):
+        payload = SweepRunner(samples=1, check=False).run(
+            ["path"], [9], ["two_coloring"])
+        assert payload["cells"][0]["validity"] is None
+        assert payload["spec"]["check"] is False
+
+    def test_invalid_labelings_are_counted(self):
+        name = _register_bad_coloring("bad_constant_coloring")
+        payload = SweepRunner(samples=2, instances=2).run(
+            ["random_tree"], [12], [name, "two_coloring"])
+        by_algo = {c["algorithm"]: c for c in payload["cells"]}
+        assert by_algo[name]["validity"] == {"valid": 0, "violations": 4}
+        assert by_algo["two_coloring"]["validity"] == \
+            {"valid": 4, "violations": 0}
+
+    def test_validity_deterministic_across_workers(self):
+        name = _register_bad_coloring("bad_constant_coloring")
+        args = (["random_tree"], [12], [name])
+        kwargs = dict(samples=2, instances=2)
+        serial = SweepRunner(workers=1, **kwargs).run_json(*args, seed=1)
+        parallel = SweepRunner(workers=3, **kwargs).run_json(*args, seed=1)
+        assert serial == parallel
+
+    def test_default_specs_declare_their_lcl(self):
+        for name in ("two_coloring", "two_coloring_ff", "cole_vishkin",
+                     "cv3_path_ff"):
+            assert ALGORITHMS[name].problem is not None
+        assert ALGORITHMS["wait_whole_graph"].problem is None
+
+    def test_cli_check_passes_on_valid_sweep(self, capsys):
+        rc = main(["--family", "path", "--sizes", "9", "--samples", "1",
+                   "--instances", "1", "--check"])
+        assert rc == 0
+        assert "0 violating" in capsys.readouterr().err
+
+    def test_cli_check_fails_on_violations(self, capsys):
+        name = _register_bad_coloring("bad_constant_coloring")
+        rc = main(["--family", "random_tree", "--sizes", "12",
+                   "--samples", "1", "--instances", "1",
+                   "--algorithms", name, "--check"])
+        assert rc == 1
+        assert "1 violating" in capsys.readouterr().err
+
+    def test_cli_check_reports_unchecked_cells(self, capsys):
+        rc = main(["--family", "path", "--sizes", "9", "--samples", "1",
+                   "--instances", "1", "--algorithms", "wait_whole_graph",
+                   "--check"])
+        assert rc == 0
+        assert "declare no LCL" in capsys.readouterr().err
 
 
 class TestCLI:
