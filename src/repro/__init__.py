@@ -14,11 +14,14 @@ Quickstart::
     trace = LocalSimulator().run(g, ColeVishkin3Coloring(), random_ids(g.n))
     print(trace.node_averaged(), trace.worst_case())
 
-``LocalSimulator`` executes both algorithm formulations (view-based and
-message-passing) on a flat-CSR graph core.  It defaults to the fast
-incremental engine; pass ``engine="reference"`` for the
-recompute-everything-from-the-view oracle when cross-checking semantics,
-and use ``run_batch`` to sweep many ID assignments over one topology.
+``LocalSimulator`` executes all algorithm formulations (view-based,
+message-passing and batched) on a flat-CSR graph core.  It defaults to
+the per-node incremental engine; pass ``engine="batched"`` to execute
+one vectorized round over all live nodes at once (algorithms with
+``decide_batch``, ~10x at large ``n``), or ``engine="reference"`` for
+the recompute-everything-from-the-view oracle when cross-checking
+semantics.  Use ``run_batch`` to sweep many ID assignments over one
+topology.
 """
 
 __version__ = "1.0.0"

@@ -2,6 +2,7 @@
 
 from .baselines import WaitForWholeGraph, run_naive_weighted25
 from .dfree_solver import (
+    DFreeAlgorithmA,
     DFreeSolution,
     astar_assignment,
     dfree_radius,
@@ -24,6 +25,7 @@ from .labeling_solver import (
 from .rake_compress import (
     Decomposition,
     Layer,
+    RakeCompressLayering,
     gamma_for_k_layers,
     rake_compress,
     validate_decomposition,
@@ -42,6 +44,7 @@ from .weighted35 import run_weighted35
 __all__ = [
     "WaitForWholeGraph",
     "run_naive_weighted25",
+    "DFreeAlgorithmA",
     "DFreeSolution",
     "astar_assignment",
     "dfree_radius",
@@ -59,6 +62,7 @@ __all__ = [
     "solve_hierarchical_labeling",
     "Decomposition",
     "Layer",
+    "RakeCompressLayering",
     "gamma_for_k_layers",
     "rake_compress",
     "validate_decomposition",

@@ -14,7 +14,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..lcl.weighted import ACTIVE, WEIGHT, copy_of, decline
 from ..local.algorithm import CONTINUE, LocalAlgorithm, View
@@ -37,11 +37,17 @@ class WaitForWholeGraph(LocalAlgorithm):
         component."""
         self._solve = solve
         self._cache: dict = {}
+        self._comp_of: Optional[List[int]] = None
+        self._comp_graph: Optional[Graph] = None
 
     def setup(self, graph: Graph, n: int) -> None:
-        # reset the per-execution memo so one instance can be reused
-        # across runs (e.g. LocalSimulator.run_batch)
+        # the solve memo depends on the IDs, so it resets every run; the
+        # component map is topology-only and survives across the ID
+        # samples of a run_batch, dropping only on a new graph
         self._cache = {}
+        if self._comp_graph is not graph:
+            self._comp_of = None
+            self._comp_graph = graph
 
     def decide(self, view: View, n: int):
         if len(view.nodes()) < n and not view.sees_whole_component():
@@ -54,6 +60,33 @@ class WaitForWholeGraph(LocalAlgorithm):
             ids = [view.id_of(u) if view.contains(u) else 0 for u in range(n)]
             self._cache[key] = self._solve(view.graph, ids)
         return self._cache[key][view.center]
+
+    def decide_batch(self, views, live, t: int):
+        """Batched form: readiness comes straight from the scheduler's flat
+        completeness/size arrays, and the per-component solve memo is
+        shared with :meth:`decide` (a node commits exactly when its ball
+        provably covers its component, so the masked ID vector the
+        per-node path builds from its ball equals the component mask)."""
+        n = views.n
+        ready = views.ready(live)
+        if not len(ready):
+            return []
+        if self._comp_of is None:
+            self._comp_of = [0] * n
+            for comp in views.graph.connected_components():
+                # comp[0] is the smallest handle in the component — the
+                # same key min(view.nodes()) yields in the per-node path
+                for u in comp:
+                    self._comp_of[u] = comp[0]
+        comp_of, ids = self._comp_of, views.ids
+        decided = []
+        for v in ready.tolist():
+            key = comp_of[v]
+            if key not in self._cache:
+                masked = [ids[u] if comp_of[u] == key else 0 for u in range(n)]
+                self._cache[key] = self._solve(views.graph, masked)
+            decided.append((v, self._cache[key][v]))
+        return decided
 
     def max_rounds_hint(self, n: int) -> int:
         return n + 2

@@ -80,9 +80,11 @@ class GenericPhaseColoring(MessageAlgorithm):
         self.name = f"generic-phases-{variant}-message"
         self._starts = phase_schedule(k, gammas)
         self._cv_iters = 0
+        self._replay: Optional[Dict[int, List[Tuple[int, str]]]] = None
 
     def setup(self, graph: Graph, n: int) -> None:
         self._cv_iters = cv_iterations(id_space_size(max(2, n), self.id_exponent))
+        self._replay = None  # per-execution batched schedule
 
     # ------------------------------------------------------------------
     def init_state(self, info: NodeInfo, n: int) -> _State:
@@ -108,6 +110,41 @@ class GenericPhaseColoring(MessageAlgorithm):
 
     def max_rounds_hint(self, n: int) -> int:
         return self._starts[-1] + 4 * n + self._cv_iters + 64
+
+    def decide_batch(self, views, live, t: int):
+        """Batched form: the whole-graph commit schedule is computed once
+        and then emitted round by round from a ``round -> [(node, label)]``
+        table.  On forests the schedule comes from the centralized
+        fast-forward (which replays exactly this state machine — the two
+        executors are differentially tested), replacing per-node chain
+        gathering for every node and round.  On graphs with cycle
+        components the fast-forward's level-path walk is undefined, but
+        the state machine itself is not — there the schedule is derived
+        from one global run of the message dynamics, exactly what the
+        incremental engine executes, so the engines stay observationally
+        identical on the algorithm's full input domain."""
+        if self._replay is None:
+            graph, ids = views.graph, views.ids
+            if graph.is_forest():
+                from .generic_phases import run_generic_fast_forward
+
+                trace = run_generic_fast_forward(
+                    graph, ids, self.k, self.gammas, self.variant,
+                    id_exponent=self.id_exponent,
+                )
+                rounds, outs = trace.rounds, trace.outputs
+            else:
+                from ..local.message import run_message_dynamics
+
+                rounds, outs = run_message_dynamics(
+                    graph, self, list(ids), views.budget,
+                    neighbor_lists=views.neighbor_lists(),
+                )
+            by_round: Dict[int, List[Tuple[int, str]]] = {}
+            for v, (r, out) in enumerate(zip(rounds, outs)):
+                by_round.setdefault(r, []).append((v, out))
+            self._replay = by_round
+        return self._replay.get(t, [])
 
     # ------------------------------------------------------------------
     def transition(self, state: _State, incoming: Sequence, t: int) -> _State:

@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..local.algorithm import CONTINUE, LocalAlgorithm, View
 from ..local.graph import Graph
 from ..local.ids import id_space_size
@@ -39,6 +41,11 @@ __all__ = [
 ]
 
 _SHED_ROUNDS = 9  # 3 per-forest rounds (6 -> 3) + 6 composite rounds (9 -> 3)
+
+#: lowest colour of {0, 1, 2} present in an availability bitmask — the
+#: vectorized ``next(c for c in (0, 1, 2) if c not in used)``; index 0
+#: (no colour free) cannot occur on degree-<=2 neighbourhoods.
+_LOWEST_FREE = np.array([-1, 0, 1, 0, 2, 0, 1, 0], dtype=np.int64)
 
 
 # ----------------------------------------------------------------------
@@ -188,6 +195,7 @@ class ColeVishkin3Coloring(MessageAlgorithm):
         self.id_exponent = id_exponent
         self._iters = 0
         self._total = 0
+        self._bstate: Optional[dict] = None
 
     def setup(self, graph: Graph, n: int) -> None:
         if graph.max_degree() > 2:
@@ -195,6 +203,7 @@ class ColeVishkin3Coloring(MessageAlgorithm):
         space = id_space_size(n, self.id_exponent)
         self._iters = cv_iterations(space)
         self._total = self._iters + _SHED_ROUNDS
+        self._bstate = None  # per-execution batched state
 
     def init_state(self, info: NodeInfo, n: int) -> _CVState:
         return _CVState(info.vid)
@@ -264,6 +273,106 @@ class ColeVishkin3Coloring(MessageAlgorithm):
     def max_rounds_hint(self, n: int) -> int:
         return self._total + 4 if self._total else 64
 
+    # ------------------------------------------------------------------
+    # batched execution: the same schedule as flat array sweeps
+    # ------------------------------------------------------------------
+    def decide_batch(self, views, live, t: int):
+        """Vectorized form for the batched engine: the per-node message
+        state machine becomes five int64 arrays (two forest labels, two
+        parent pointers, the composite) advanced by whole-array bit
+        tricks, one round per call — same schedule, same labels, all
+        nodes commit together at ``cv_total_rounds``.  Never touches the
+        frontier scheduler (the CV schedule needs no ball facts), so a
+        batched run does zero BFS work."""
+        if t >= self._total:
+            comp = self._bstate["comp"]
+            return [(v, int(comp[v])) for v in live]
+        st = self._bstate
+        if st is None:
+            st = self._bstate = self._batch_init(views)
+        iters = self._iters
+        if t < iters:
+            self._batch_cv_step(st)
+        elif t < iters + 3:
+            color = 5 - (t - iters)
+            for key, parent in (("l1", st["p1"]), ("l2", st["p2"])):
+                st[key] = self._batch_shed_forest(st[key], parent, color)
+            if t == iters + 2:
+                st["comp"] = 3 * st["l1"] + st["l2"]
+        else:
+            color = 8 - (t - iters - 3)
+            st["comp"] = self._batch_shed_composite(st, color)
+        return []
+
+    @staticmethod
+    def _batch_init(views) -> dict:
+        from ..local.frontier import csr_numpy
+
+        graph, n = views.graph, views.n
+        ids = np.asarray(views.ids, dtype=np.int64)
+        # degree <= 2 (enforced by setup): pad adjacency to an (n, 2)
+        # array, -1 marking missing slots
+        ip, ix = csr_numpy(graph)
+        deg = ip[1:] - ip[:-1]
+        nbr = np.full((n, 2), -1, dtype=np.int64)
+        has1 = deg >= 1
+        nbr[has1, 0] = ix[ip[:-1][has1]]
+        has2 = deg >= 2
+        nbr[has2, 1] = ix[ip[:-1][has2] + 1]
+        # forest parents: the (up to two) larger-ID neighbours, ranked
+        # ascending by ID — identical to _forest_parents / transition()
+        a, b = nbr[:, 0], nbr[:, 1]
+        ia = np.where(a >= 0, ids[a], np.int64(-1))
+        ib = np.where(b >= 0, ids[b], np.int64(-1))
+        a_big, b_big = ia > ids, ib > ids
+        both = a_big & b_big
+        a_first = both & (ia < ib)
+        b_first = both & ~a_first
+        p1 = np.where(a_big & ~b_big, a, np.where(b_big & ~a_big, b, -1))
+        p1 = np.where(a_first, a, np.where(b_first, b, p1))
+        p2 = np.where(a_first, b, np.where(b_first, a, np.int64(-1)))
+        return {"nbr": nbr, "p1": p1, "p2": p2,
+                "l1": ids.copy(), "l2": ids.copy(), "comp": None}
+
+    @staticmethod
+    def _batch_cv_step(st: dict) -> None:
+        """One Cole–Vishkin iteration on both forests at once (cv_step
+        vectorized: lsb position via exact log2 of a power of two)."""
+        for key, parent in (("l1", st["p1"]), ("l2", st["p2"])):
+            lab = st[key]
+            rooted = parent < 0
+            diff = np.where(rooted, np.int64(1), lab ^ lab[parent])
+            assert diff.all(), "CV step requires distinct adjacent labels"
+            lsb = diff & -diff
+            i = np.log2(lsb.astype(np.float64)).astype(np.int64)
+            st[key] = np.where(rooted, lab & 1, 2 * i + ((lab >> i) & 1))
+
+    @staticmethod
+    def _batch_shed_forest(lab, parent, color: int):
+        """One simultaneous per-forest shedding round: nodes holding
+        ``color`` take the lowest colour in {0,1,2} absent from their
+        forest neighbourhood (parent + children), from the pre-round
+        labels — exactly ``_shed_forest``."""
+        used = np.zeros(len(lab), dtype=np.int64)
+        has_parent = parent >= 0
+        used[has_parent] |= np.int64(1) << lab[parent[has_parent]]
+        np.bitwise_or.at(
+            used, parent[has_parent], np.int64(1) << lab[has_parent]
+        )
+        return np.where(lab == color, _LOWEST_FREE[~used & 7], lab)
+
+    @staticmethod
+    def _batch_shed_composite(st: dict, color: int):
+        """One simultaneous composite shedding round over the real graph
+        neighbourhoods (degree <= 2)."""
+        comp, nbr = st["comp"], st["nbr"]
+        used = np.zeros(len(comp), dtype=np.int64)
+        for j in (0, 1):
+            col = nbr[:, j]
+            has = col >= 0
+            used[has] |= np.int64(1) << comp[col[has]]
+        return np.where(comp == color, _LOWEST_FREE[~used & 7], comp)
+
 
 # ----------------------------------------------------------------------
 # canonical 2-coloring (view based)
@@ -280,12 +389,39 @@ class CanonicalTwoColoring(LocalAlgorithm):
 
     name = "canonical-2coloring"
 
+    def __init__(self) -> None:
+        self._colors: Optional[List[int]] = None
+
+    def setup(self, graph: Graph, n: int) -> None:
+        self._colors = None  # per-execution memo (IDs change across runs)
+
     def decide(self, view: View, n: int):
         ball = view.nodes()
         if len(ball) < n and not view.sees_whole_component():
             return CONTINUE
         root = min(ball, key=view.id_of)
         return _tree_parity(view, root)
+
+    def decide_batch(self, views, live, t: int):
+        """Batched form: component-completeness comes from the scheduler's
+        flat arrays, and each component's canonical coloring is computed
+        once (one BFS from its min-ID root) instead of once per member —
+        a node's commit-time ball *is* its component, so the per-node
+        parity computation returns exactly these colours."""
+        ready = views.ready(live)
+        if not len(ready):
+            return []
+        if self._colors is None:
+            graph, ids = views.graph, views.ids
+            colors = [0] * views.n
+            for _comp, _root, dist_root in _canonical_component_roots(
+                graph, ids
+            ):
+                for w, d in dist_root.items():
+                    colors[w] = d % 2
+            self._colors = colors
+        colors = self._colors
+        return [(v, colors[v]) for v in ready.tolist()]
 
     def max_rounds_hint(self, n: int) -> int:
         return n + 2
@@ -307,6 +443,18 @@ def _tree_parity(view: View, root: int) -> int:
     return dist[view.center] % 2
 
 
+def _canonical_component_roots(graph: Graph, ids: Sequence[int]):
+    """Per component: ``(members, root, dist_from_root)`` with the root at
+    the min-ID node — the one canonical rule every executor of the
+    2-coloring (per-node, batched, fast-forward) derives its colors from
+    (``color = dist % 2``)."""
+    out = []
+    for comp in graph.connected_components():
+        root = min(comp, key=lambda v: ids[v])
+        out.append((comp, root, _component_bfs(graph, root)))
+    return out
+
+
 def two_coloring_fast_forward(
     graph: Graph, ids: Sequence[int]
 ) -> Tuple[List[int], List[int]]:
@@ -319,9 +467,7 @@ def two_coloring_fast_forward(
     n = graph.n
     colors = [0] * n
     rounds = [0] * n
-    for comp in graph.connected_components():
-        root = min(comp, key=lambda v: ids[v])
-        dist_root = _component_bfs(graph, root)
+    for comp, _root, dist_root in _canonical_component_roots(graph, ids):
         whole = len(comp) == n
         for v in comp:
             colors[v] = dist_root[v] % 2

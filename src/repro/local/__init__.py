@@ -1,6 +1,7 @@
 """LOCAL model substrate: graphs, identifiers, views, simulator, metrics."""
 
-from .algorithm import CONTINUE, BallStore, LocalAlgorithm, View
+from .algorithm import BatchedAlgorithm, CONTINUE, BallStore, LocalAlgorithm, View
+from .frontier import BatchedViews, FrontierScheduler
 from .graph import (
     Graph,
     balanced_tree,
@@ -12,7 +13,18 @@ from .graph import (
     star_graph,
     to_networkx,
 )
-from .ids import id_space_size, random_ids, sequential_ids, validate_ids
+from .ids import (
+    ID_MODES,
+    IdMode,
+    bit_reversal_ids,
+    boundary_clustered_ids,
+    descending_ids,
+    id_space_size,
+    make_ids,
+    random_ids,
+    sequential_ids,
+    validate_ids,
+)
 from .message import MessageAlgorithm, MessageSimulator, NodeInfo, run_message_dynamics
 from .metrics import ExecutionTrace, node_averaged, worst_case
 from .simulator import ENGINES, LocalSimulator, SimulationError
@@ -20,6 +32,9 @@ from .simulator import ENGINES, LocalSimulator, SimulationError
 __all__ = [
     "CONTINUE",
     "BallStore",
+    "BatchedAlgorithm",
+    "BatchedViews",
+    "FrontierScheduler",
     "LocalAlgorithm",
     "View",
     "Graph",
@@ -31,7 +46,13 @@ __all__ = [
     "path_graph",
     "star_graph",
     "to_networkx",
+    "ID_MODES",
+    "IdMode",
+    "bit_reversal_ids",
+    "boundary_clustered_ids",
+    "descending_ids",
     "id_space_size",
+    "make_ids",
     "random_ids",
     "sequential_ids",
     "validate_ids",

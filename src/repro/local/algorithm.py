@@ -21,7 +21,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from .graph import Graph
 
-__all__ = ["CONTINUE", "BallStore", "View", "LocalAlgorithm"]
+__all__ = ["CONTINUE", "BallStore", "View", "LocalAlgorithm", "BatchedAlgorithm"]
 
 
 class _Continue:
@@ -257,6 +257,48 @@ class LocalAlgorithm:
         """Return an output label to commit, or :data:`CONTINUE`.
 
         Must be a deterministic function of the view (plus ``n``).
+        """
+        raise NotImplementedError
+
+    def max_rounds_hint(self, n: int) -> int:
+        """Upper bound on rounds; the simulator errors beyond this."""
+        return 4 * n + 64
+
+
+class BatchedAlgorithm:
+    """Base class for algorithms that decide over the whole live set at once.
+
+    The batched engine (``LocalSimulator(engine="batched")``) calls
+    :meth:`decide_batch` once per round with the full live set instead of
+    calling ``decide`` once per live node, which lets implementations work
+    at array level (numpy sweeps over flat per-node state) rather than
+    per-node Python.  The observational contract is unchanged: the commits
+    returned must be exactly those the per-node formulation would make, so
+    traces are engine-independent.
+
+    Any object exposing a ``decide_batch`` method satisfies the protocol —
+    the ported structured algorithms add it next to their existing
+    ``decide``/message hooks, so one instance runs on every engine.  This
+    base class is for *pure* batched algorithms with no per-node form;
+    those run only under ``engine="batched"``.
+    """
+
+    #: Human-readable algorithm name for traces and reports.
+    name: str = "batched-algorithm"
+
+    def setup(self, graph: Graph, n: int) -> None:
+        """Called once before the execution starts (global parameters only);
+        must also reset any per-execution caches (``run_batch`` reuses one
+        instance across many ID samples)."""
+
+    def decide_batch(self, views, live, t: int):
+        """Return this round's commits as an iterable of ``(node, label)``.
+
+        ``views`` is a :class:`repro.local.frontier.BatchedViews` exposing
+        the shared ball facts and per-node view materialization; ``live``
+        is the sorted list of not-yet-committed nodes.  Must only commit
+        live nodes, and each at most once.  Returning an empty iterable
+        means every live node continues.
         """
         raise NotImplementedError
 

@@ -9,6 +9,18 @@ assignment is part of the experiment design:
   symmetry breaking, useful as a sanity baseline);
 * :func:`random_ids` — uniformly random injection into ``{1..n^c}`` (the
   standard adversarial-free setting for measuring upper bounds);
+* adversarial assignments — the node-averaged measure is a sup over ID
+  assignments as well as topology, so sweeps probe structured worst cases:
+  :func:`descending_ids` (IDs strictly decreasing in handle order — on
+  canonical paths every edge points backwards, the classic bad case for
+  greedy orientations), :func:`bit_reversal_ids` (handles ranked by their
+  bit-reversed value — destroys the correlation between handle distance
+  and ID distance that random assignments keep on average), and
+  :func:`boundary_clustered_ids` (smallest IDs alternate between the two
+  ends of the handle range — clusters extreme IDs at path/cycle
+  boundaries, where root/parent election rules are most sensitive);
+* :data:`ID_MODES` / :func:`make_ids` — the named registry sweeps expose
+  as an axis (``python -m repro.sweep --id-mode ...``);
 * :func:`id_space_size` — the canonical ID space size ``n^c``;
 * :func:`validate_ids` — the uniqueness/positivity check every simulator
   entry point applies to caller-supplied assignments.
@@ -17,11 +29,17 @@ assignment is part of the experiment design:
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional
 
 __all__ = [
     "sequential_ids",
     "random_ids",
+    "descending_ids",
+    "bit_reversal_ids",
+    "boundary_clustered_ids",
+    "IdMode",
+    "ID_MODES",
+    "make_ids",
     "validate_ids",
     "id_space_size",
     "IdAssignment",
@@ -65,6 +83,102 @@ def random_ids(
             chosen.add(x)
             ids.append(x)
     return ids
+
+
+def descending_ids(n: int) -> IdAssignment:
+    """IDs ``n..1`` in node-handle order (strictly decreasing)."""
+    return list(range(n, 0, -1))
+
+
+def bit_reversal_ids(n: int) -> IdAssignment:
+    """Handles ranked by the bit-reversal of their binary representation.
+
+    Handle ``v`` is written in ``ceil(log2 n)`` bits, the bits are
+    reversed, and IDs ``1..n`` are assigned by ascending reversed value
+    (ties — only possible through the shared zero — broken by handle).
+    Nearby handles land far apart in ID order and vice versa, the standard
+    decorrelation permutation.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    bits = max(1, (n - 1).bit_length())
+    order = sorted(
+        range(n),
+        key=lambda v: (int(format(v, f"0{bits}b")[::-1], 2), v),
+    )
+    ids = [0] * n
+    for rank, v in enumerate(order):
+        ids[v] = rank + 1
+    return ids
+
+
+def boundary_clustered_ids(n: int) -> IdAssignment:
+    """Small IDs clustered at the two ends of the handle range.
+
+    IDs are dealt alternately to the lowest and highest unassigned
+    handles: handle 0 gets 1, handle ``n-1`` gets 2, handle 1 gets 3, ...
+    so the extreme (small) IDs sit on the boundary nodes of canonical
+    paths/cycles and the largest IDs in the middle.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    ids = [0] * n
+    lo, hi, next_id = 0, n - 1, 1
+    while lo <= hi:
+        ids[lo] = next_id
+        next_id += 1
+        lo += 1
+        if lo <= hi:
+            ids[hi] = next_id
+            next_id += 1
+            hi -= 1
+    return ids
+
+
+class IdMode(NamedTuple):
+    """A registered ID-assignment mode.
+
+    ``deterministic`` declares whether ``fn`` ignores the rng (same
+    assignment on every call for a given ``n``) — consumers like the
+    sweep use it to collapse redundant samples, so a mode that consumes
+    the rng must say ``deterministic=False`` or aggregates over it will
+    silently lose their independent draws.
+    """
+
+    fn: Callable[[int, Optional[random.Random]], IdAssignment]
+    deterministic: bool
+
+
+#: Named ID-assignment modes, the sweep axis.
+ID_MODES: Dict[str, IdMode] = {
+    "random": IdMode(lambda n, rng=None: random_ids(n, rng=rng),
+                     deterministic=False),
+    "sequential": IdMode(lambda n, rng=None: sequential_ids(n),
+                         deterministic=True),
+    "descending": IdMode(lambda n, rng=None: descending_ids(n),
+                         deterministic=True),
+    "bit_reversal": IdMode(lambda n, rng=None: bit_reversal_ids(n),
+                           deterministic=True),
+    "boundary_clustered": IdMode(lambda n, rng=None: boundary_clustered_ids(n),
+                                 deterministic=True),
+}
+
+
+def get_id_mode(mode: str) -> IdMode:
+    """Look up a registered mode; ``KeyError`` with the known names."""
+    try:
+        return ID_MODES[mode]
+    except KeyError:
+        raise KeyError(
+            f"unknown id mode {mode!r}; known: {sorted(ID_MODES)}"
+        ) from None
+
+
+def make_ids(
+    mode: str, n: int, rng: Optional[random.Random] = None
+) -> IdAssignment:
+    """Build an ID assignment by mode name (see :data:`ID_MODES`)."""
+    return get_id_mode(mode).fn(n, rng)
 
 
 def validate_ids(ids: IdAssignment, space: Optional[int] = None) -> None:

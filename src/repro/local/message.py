@@ -107,7 +107,11 @@ def run_message_dynamics(
     ]
     commit_round: List[Optional[int]] = [None] * n
     outputs: List = [None] * n
-    live = set(range(n))
+    # commit-flag array + sorted live list, same shape as the view engines'
+    # _apply_commits: flag writes during the decide scan, one flag-filter
+    # rebuild per deciding round — no per-round set churn
+    committed = bytearray(n)
+    live = list(range(n))
 
     t = 0
     while live:
@@ -116,12 +120,16 @@ def run_message_dynamics(
                 f"{algorithm.name}: exceeded round budget {budget} "
                 f"with {len(live)} nodes still running"
             )
-        for v in list(live):
+        decided = False
+        for v in live:
             decision = algorithm.decide(states[v], t)
             if decision is not CONTINUE:
                 commit_round[v] = t
                 outputs[v] = decision
-                live.discard(v)
+                committed[v] = 1
+                decided = True
+        if decided:
+            live = [v for v in live if not committed[v]]
         if not live:
             break
         msgs = [algorithm.message(states[v], t) for v in graph.nodes()]

@@ -53,6 +53,11 @@ class ExecutionTrace:
     outputs: List
     algorithm: str = "unknown"
     meta: Dict = field(default_factory=dict)
+    # cached sorted rounds for percentile queries; traces are effectively
+    # frozen once the simulator returns them, so no invalidation is needed
+    _ordered: Optional[List[int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n(self) -> int:
@@ -69,12 +74,24 @@ class ExecutionTrace:
         return sum(self.rounds)
 
     def percentile(self, q: float) -> int:
-        """q-th percentile of per-node rounds, 0 <= q <= 100."""
+        """q-th percentile of per-node rounds, 0 <= q <= 100.
+
+        The sort is paid once per trace and cached (traces are frozen
+        after construction), so repeated percentile queries — sweep
+        aggregations ask for many per trace — are O(1) lookups.
+        """
         if not 0 <= q <= 100:
             raise ValueError("q must be in [0, 100]")
-        ordered = sorted(self.rounds)
+        if self._ordered is None:
+            self._ordered = sorted(self.rounds)
+        ordered = self._ordered
         idx = min(len(ordered) - 1, max(0, math.ceil(q / 100 * len(ordered)) - 1))
         return ordered[idx]
+
+    def percentiles(self, qs: Sequence[float]) -> List[int]:
+        """Bulk accessor: the percentile for each ``q`` in ``qs``, one
+        shared sort for all of them."""
+        return [self.percentile(q) for q in qs]
 
     def rounds_of(self, nodes: Sequence[int]) -> List[int]:
         return [self.rounds[v] for v in nodes]
@@ -85,10 +102,11 @@ class ExecutionTrace:
         return node_averaged(picked)
 
     def summary(self) -> Dict[str, float]:
+        median, p99 = self.percentiles((50, 99))
         return {
             "n": float(self.n),
             "node_averaged": self.node_averaged(),
             "worst_case": float(self.worst_case()),
-            "median": float(self.percentile(50)),
-            "p99": float(self.percentile(99)),
+            "median": float(median),
+            "p99": float(p99),
         }

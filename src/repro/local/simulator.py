@@ -9,8 +9,9 @@ at which ``v`` commits.
 
 Engines
 -------
-:class:`LocalSimulator` accepts ``engine="incremental"`` (the default) or
-``engine="reference"``.  Both produce identical ``(T_v, output)`` maps —
+:class:`LocalSimulator` accepts ``engine="batched"``,
+``engine="incremental"`` (the default) or ``engine="reference"``.  All
+three produce identical ``(T_v, output)`` maps —
 ``tests/test_engine_equivalence.py`` asserts this over a corpus of graphs,
 algorithms and ID assignments — but they trade transparency for speed:
 
@@ -22,13 +23,23 @@ algorithms and ID assignments — but they trade transparency for speed:
   the oracle to cross-check against whenever engine behaviour is in doubt,
   and the right engine for new-algorithm debugging.  Cost:
   Θ(Σ_t live_t · |ball_t|) and worse — effectively cubic on paths.
-* ``incremental`` — the production engine.  Each live node owns a
+* ``incremental`` — the per-node production engine.  Each live node owns a
   :class:`repro.local.algorithm.BallStore` that grows by exactly one BFS
   frontier layer per round (amortized O(edges in the final ball) per node),
   and views become thin windows over the store.  Message-passing algorithms
   are advanced through one shared global execution of their state machine —
   the standard equivalence between the message-passing and full-information
   formulations, exploited instead of re-derived per node.
+* ``batched`` — the vectorized production engine.  One
+  :class:`repro.local.frontier.FrontierScheduler` grows *all* live balls
+  together (one flat CSR sweep per round instead of ``n`` dict BFS loops)
+  and algorithms implementing ``decide_batch(views, live, t)`` (see
+  :class:`repro.local.algorithm.BatchedAlgorithm`) decide over the whole
+  live set at once with array-level operations.  Algorithms without
+  ``decide_batch`` still run unmodified: view algorithms through a
+  per-node adapter over the shared scheduler, message algorithms through
+  the same global dynamics as ``incremental`` (one shared state machine
+  *is* the batched execution of a message algorithm).
 
 The structured algorithms in :mod:`repro.algorithms` additionally ship
 "fast-forward" executors that compute the same ``(T_v, output)`` map
@@ -45,14 +56,37 @@ from .graph import Graph
 from .ids import sequential_ids, validate_ids
 from .metrics import ExecutionTrace
 
-__all__ = ["LocalSimulator", "SimulationError", "ENGINES"]
+__all__ = ["LocalSimulator", "SimulationError", "ENGINES", "resolve_auto_engine"]
 
 #: Recognised engine names, fastest first.
-ENGINES = ("incremental", "reference")
+ENGINES = ("batched", "incremental", "reference")
 
 
 class SimulationError(RuntimeError):
     """Raised when an execution exceeds its round budget."""
+
+
+def _has_decide_batch(algorithm) -> bool:
+    """The dispatch predicate shared by :meth:`LocalSimulator._run` and
+    :func:`resolve_auto_engine`: whether the algorithm natively supports
+    the batched engine's whole-live-set protocol."""
+    return callable(getattr(algorithm, "decide_batch", None))
+
+
+def resolve_auto_engine(algorithm) -> str:
+    """The engine an ``"auto"`` policy should pick for ``algorithm``.
+
+    The single source of truth for auto-selection (``repro.sweep`` defers
+    here): ``"batched"`` when the algorithm benefits from the batched
+    engine — it implements ``decide_batch``, or it is a message algorithm
+    (whose shared global dynamics already are the batched execution) —
+    and ``"incremental"`` otherwise.
+    """
+    from .message import MessageAlgorithm  # deferred: message.py imports us
+
+    if _has_decide_batch(algorithm) or isinstance(algorithm, MessageAlgorithm):
+        return "batched"
+    return "incremental"
 
 
 class LocalSimulator:
@@ -66,16 +100,19 @@ class LocalSimulator:
 
     Engine contract
     ---------------
-    ``engine="incremental"`` and ``engine="reference"`` must be
-    observationally identical: same ``(T_v, output)`` maps, same view
-    contents (including dict iteration order of ``View.nodes()``), same
-    ``SimulationError`` behaviour.  The incremental engine carries state
-    across rounds (ball stores, global message execution) purely as a
-    cache of what the reference engine would recompute.  Use
-    ``reference`` as the cross-check oracle whenever an algorithm misuses
-    the view API (e.g. retains views across rounds) or when validating a
-    new engine/algorithm pairing; use ``incremental`` everywhere else —
-    benchmarks at production sizes are only feasible on it.
+    ``engine="batched"``, ``engine="incremental"`` and
+    ``engine="reference"`` must be observationally identical: same
+    ``(T_v, output)`` maps, same view contents (including dict iteration
+    order of ``View.nodes()`` — the batched frontier scheduler reproduces
+    per-node BFS layer order exactly), same ``SimulationError``
+    behaviour.  Whatever the fast engines carry across rounds (ball
+    stores, the shared frontier pool, global message execution, batched
+    label arrays) is purely a cache of what the reference engine would
+    recompute.  Use ``reference`` as the cross-check oracle whenever an
+    algorithm misuses the view API (e.g. retains views across rounds) or
+    when validating a new engine/algorithm pairing; use ``batched`` for
+    large-``n`` work on algorithms that implement ``decide_batch``; use
+    ``incremental`` everywhere else.
     """
 
     def __init__(
@@ -150,11 +187,24 @@ class LocalSimulator:
         if budget is None:
             budget = algorithm.max_rounds_hint(n)
 
+        has_batch = _has_decide_batch(algorithm)
+        has_decide = callable(getattr(algorithm, "decide", None))
         if isinstance(algorithm, MessageAlgorithm):
             if self.engine == "reference":
                 runner = _run_message_reference
+            elif self.engine == "batched" and has_batch:
+                runner = _run_view_batched
             else:
+                # one shared global state machine is already the batched
+                # execution of a message algorithm
                 runner = _run_message_incremental
+        elif self.engine == "batched":
+            runner = _run_view_batched
+        elif not has_decide and has_batch:
+            raise TypeError(
+                f"{algorithm.name} only implements decide_batch; "
+                f"run it with engine='batched'"
+            )
         elif self.engine == "reference":
             runner = _run_view_reference
         else:
@@ -182,16 +232,26 @@ def _budget_check(algorithm, t: int, budget: int, live) -> None:
 # ----------------------------------------------------------------------
 # view-based engines
 # ----------------------------------------------------------------------
-def _apply_commits(decided, t, commit_round, outputs, live):
-    """Simultaneous commits: record them, then drop committed nodes from
-    the (sorted) live list — no per-round re-sort needed since commits
-    only ever remove."""
-    committed = set()
+def _apply_commits(decided, t, commit_round, outputs, live, committed):
+    """Simultaneous commits: record them in the shared commit-flag array,
+    then drop committed nodes from the (sorted) live list with one flag
+    scan — no per-round set construction, no re-sort (commits only ever
+    remove).  ``committed`` is a ``bytearray`` the batched engine's
+    frontier scheduler shares zero-copy, so flagged centres drop out of
+    the flat frontier on its next sweep."""
+    n = len(committed)
     for v, label in decided:
+        if not 0 <= v < n:
+            # guard against negative indices silently aliasing node n-1
+            raise SimulationError(
+                f"commit for out-of-range node {v!r} (round {t})"
+            )
+        if committed[v]:
+            raise SimulationError(f"node {v} committed twice (round {t})")
+        committed[v] = 1
         commit_round[v] = t
         outputs[v] = label
-        committed.add(v)
-    return [v for v in live if v not in committed]
+    return [v for v in live if not committed[v]]
 
 
 def _run_view_reference(graph, algorithm, id_list, budget, atlas):
@@ -200,6 +260,7 @@ def _run_view_reference(graph, algorithm, id_list, budget, atlas):
     n = graph.n
     commit_round: List[Optional[int]] = [None] * n
     outputs: List = [None] * n
+    committed = bytearray(n)
     live = list(range(n))
 
     t = 0
@@ -212,7 +273,9 @@ def _run_view_reference(graph, algorithm, id_list, budget, atlas):
             if decision is not CONTINUE:
                 decided.append((v, decision))
         if decided:
-            live = _apply_commits(decided, t, commit_round, outputs, live)
+            live = _apply_commits(
+                decided, t, commit_round, outputs, live, committed
+            )
         t += 1
     return commit_round, outputs
 
@@ -223,6 +286,7 @@ def _run_view_incremental(graph, algorithm, id_list, budget, atlas):
     n = graph.n
     commit_round: List[Optional[int]] = [None] * n
     outputs: List = [None] * n
+    committed = bytearray(n)
     live = list(range(n))
     if atlas is None:
         stores = {v: BallStore(graph, v) for v in range(n)}
@@ -244,9 +308,79 @@ def _run_view_incremental(graph, algorithm, id_list, budget, atlas):
             if decision is not CONTINUE:
                 decided.append((v, decision))
         if decided:
-            live = _apply_commits(decided, t, commit_round, outputs, live)
+            live = _apply_commits(
+                decided, t, commit_round, outputs, live, committed
+            )
             for v, _label in decided:
                 del stores[v]
+        t += 1
+    return commit_round, outputs
+
+
+class _PerNodeBatchAdapter:
+    """Run an unmodified per-node ``decide`` under the batched engine.
+
+    The fallback path of the engine contract: views are materialized one
+    node at a time over the shared frontier scheduler's layer pool, so an
+    existing :class:`~repro.local.algorithm.LocalAlgorithm` observes
+    exactly the store-backed views the incremental engine would hand it.
+    """
+
+    __slots__ = ("_algorithm", "name")
+
+    def __init__(self, algorithm) -> None:
+        self._algorithm = algorithm
+        self.name = algorithm.name
+
+    def decide_batch(self, views, live, t):
+        n = views.n
+        decide = self._algorithm.decide
+        decided = []
+        for v in live:
+            decision = decide(views.view_of(v), n)
+            if decision is not CONTINUE:
+                decided.append((v, decision))
+        return decided
+
+
+def _run_view_batched(graph, algorithm, id_list, budget, atlas):
+    """One decide pass for *all* live nodes per round: balls grow through
+    a shared :class:`~repro.local.frontier.FrontierScheduler` (flat CSR
+    sweeps over the whole live frontier) instead of per-node dict stores,
+    and the algorithm decides over the entire live set at once via
+    ``decide_batch`` — per-node algorithms are wrapped in
+    :class:`_PerNodeBatchAdapter`."""
+    from .frontier import BatchedViews, FrontierScheduler
+
+    n = graph.n
+    commit_round: List[Optional[int]] = [None] * n
+    outputs: List = [None] * n
+    committed = bytearray(n)
+    live = list(range(n))
+    scheduler = FrontierScheduler(graph, committed, atlas=atlas)
+    views = BatchedViews(
+        graph, id_list, commit_round, outputs, scheduler, budget=budget
+    )
+    if _has_decide_batch(algorithm):
+        batched = algorithm
+    elif callable(getattr(algorithm, "decide", None)):
+        batched = _PerNodeBatchAdapter(algorithm)
+    else:
+        raise TypeError(
+            f"{algorithm.name} implements neither decide nor decide_batch"
+        )
+
+    t = 0
+    while live:
+        _budget_check(algorithm, t, budget, live)
+        views.round = t
+        decided = list(batched.decide_batch(views, live, t))
+        if decided:
+            live = _apply_commits(
+                decided, t, commit_round, outputs, live, committed
+            )
+            for v, _label in decided:
+                views.drop(v)
         t += 1
     return commit_round, outputs
 
@@ -282,6 +416,7 @@ def _run_message_reference(graph, algorithm, id_list, budget, atlas):
     n = graph.n
     commit_round: List[Optional[int]] = [None] * n
     outputs: List = [None] * n
+    committed = bytearray(n)
     live = list(range(n))
 
     t = 0
@@ -296,7 +431,9 @@ def _run_message_reference(graph, algorithm, id_list, budget, atlas):
             if decision is not CONTINUE:
                 decided.append((v, decision))
         if decided:
-            live = _apply_commits(decided, t, commit_round, outputs, live)
+            live = _apply_commits(
+                decided, t, commit_round, outputs, live, committed
+            )
         t += 1
     return commit_round, outputs
 

@@ -5,11 +5,16 @@ family *and* an ID assignment (``AVG_V(A) = max_{G} (1/|V|) sum_v T_v``,
 :mod:`repro.local.metrics`).  A :class:`SweepRunner` estimates that sup
 empirically: it draws ``instances`` seeded graphs per ``(family, n)`` cell
 from :mod:`repro.families`, runs every registered algorithm over
-``samples`` random ID assignments per instance
+``samples`` ID assignments per instance
 (:meth:`~repro.local.simulator.LocalSimulator.run_batch`, so the
 BFS-layer atlas is shared across the ID samples of an instance), and
 aggregates ``max``/``mean`` of the node-averaged and worst-case
-complexity per cell.
+complexity per cell.  The ID assignments form an axis of their own
+(``id_mode``): digest-seeded random draws by default, or one of the
+deterministic adversarial assignments in
+:data:`repro.local.ids.ID_MODES`.  Executions default to
+``engine="auto"``: the batched engine for every algorithm that supports
+it, incremental for the rest, recorded per run in the trace meta.
 
 Validity
 --------
@@ -59,9 +64,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .families import FAMILIES, Family, get_family, register_family
 from .local.graph import Graph
-from .local.ids import id_space_size, random_ids
+from .local.ids import ID_MODES, id_space_size, make_ids
 from .local.metrics import ExecutionTrace
-from .local.simulator import ENGINES, LocalSimulator
+from .local.simulator import ENGINES, LocalSimulator, resolve_auto_engine
+
+#: ``engine`` choices for sweeps: the simulator engines plus ``"auto"``,
+#: which resolves per algorithm — batched for algorithms that implement
+#: ``decide_batch`` (and message algorithms, whose shared global dynamics
+#: already are the batched execution), incremental otherwise.  The engine
+#: actually used is recorded per run in ``ExecutionTrace.meta["engine"]``.
+ENGINE_CHOICES = ENGINES + ("auto",)
 
 __all__ = [
     "AlgorithmSpec",
@@ -156,6 +168,12 @@ def _make_wait_whole_graph(n: int):
     return WaitForWholeGraph(degrees)
 
 
+def _make_rake_layering(n: int):
+    from .algorithms import RakeCompressLayering
+
+    return RakeCompressLayering(gamma=1, ell=2)
+
+
 def _two_coloring_fast_forward(graph: Graph, ids: List[int]) -> ExecutionTrace:
     from .algorithms import two_coloring_fast_forward
 
@@ -183,6 +201,9 @@ for _spec in (
                   description="Cole-Vishkin 3-coloring (max degree <= 2)"),
     AlgorithmSpec("wait_whole_graph", factory=_make_wait_whole_graph,
                   description="gather-everything baseline (Theta(diameter))"),
+    AlgorithmSpec("rake_layering", factory=_make_rake_layering,
+                  description="rake-and-compress layering on forests "
+                  "(staggered commits, O(log n) rounds at gamma=1)"),
     AlgorithmSpec("two_coloring_ff", fast_forward=_two_coloring_fast_forward,
                   problem=_proper_coloring_problem(2),
                   description="fast-forward canonical 2-coloring"),
@@ -206,6 +227,7 @@ class _Task:
     samples: int
     seed: int
     engine: str
+    id_mode: str
     check: bool
 
 
@@ -230,17 +252,27 @@ def _run_task(
     the ID samples; ``early_exit`` keeps invalid labelings cheap)."""
     family = get_family(task.family)
     graph = family.instance(task.n, task.seed, task.index)
+    # deterministic id modes (declared on their ID_MODES entry) ignore the
+    # rng and would repeat the same assignment for every sample — simulate
+    # it once and replicate the per-sample results instead (aggregates are
+    # over identical values either way, so the payload is unchanged);
+    # rng-consuming modes draw digest-seeded assignments per sample
+    deterministic = ID_MODES[task.id_mode].deterministic
+    effective_samples = 1 if deterministic else task.samples
     id_samples = [
-        random_ids(graph.n, rng=random.Random(
+        make_ids(task.id_mode, graph.n, rng=random.Random(
             _sample_seed(task.family, task.n, task.seed, task.index, s)))
-        for s in range(task.samples)
+        for s in range(effective_samples)
     ]
     spec = get_algorithm(task.algorithm)
     if spec.fast_forward is not None:
         traces = [spec.fast_forward(graph, ids) for ids in id_samples]
     else:
         algorithm = spec.factory(graph.n)
-        traces = LocalSimulator(engine=task.engine).run_batch(
+        engine = task.engine
+        if engine == "auto":
+            engine = resolve_auto_engine(algorithm)
+        traces = LocalSimulator(engine=engine).run_batch(
             graph, algorithm, id_samples
         )
     valid: Optional[List[bool]] = None
@@ -252,11 +284,12 @@ def _run_task(
                 graph, [t.outputs for t in traces], early_exit=True
             )
         ]
-    return (
-        graph.n,
-        [(t.node_averaged(), t.worst_case()) for t in traces],
-        valid,
-    )
+    runs = [(t.node_averaged(), t.worst_case()) for t in traces]
+    if deterministic and task.samples > 1:
+        runs = runs * task.samples
+        if valid is not None:
+            valid = valid * task.samples
+    return (graph.n, runs, valid)
 
 
 # ----------------------------------------------------------------------
@@ -276,7 +309,21 @@ class SweepRunner:
         Instances per ``(family, n)`` cell; ``None`` uses each family's
         ``default_count``.
     engine:
-        Simulator engine for factory-based algorithms.
+        Simulator engine for factory-based algorithms; the default
+        ``"auto"`` picks the batched engine for every algorithm that
+        supports it (see :data:`ENGINE_CHOICES`) and incremental for the
+        rest.  The engine each run actually used is recorded in its
+        trace's ``meta["engine"]``.
+    id_mode:
+        Named ID-assignment mode (:data:`repro.local.ids.ID_MODES`):
+        ``"random"`` (default) draws digest-seeded random assignments;
+        the adversarial modes (``descending``, ``bit_reversal``,
+        ``boundary_clustered``, ``sequential``) are deterministic — the
+        node-averaged measure is a sup over ID assignments too, so they
+        form a sweep axis.  With a deterministic mode every sample of an
+        instance sees the same IDs, so each instance is simulated once
+        and the result replicated to ``samples`` (the payload is
+        unchanged, the redundant work is not done).
     check:
         Verify every produced labeling against the algorithm's declared
         LCL (``AlgorithmSpec.problem``) through the compiled checker
@@ -289,7 +336,8 @@ class SweepRunner:
         workers: int = 1,
         samples: int = 3,
         instances: Optional[int] = None,
-        engine: str = "incremental",
+        engine: str = "auto",
+        id_mode: str = "random",
         check: bool = True,
     ) -> None:
         if workers < 1:
@@ -298,12 +346,17 @@ class SweepRunner:
             raise ValueError("samples must be >= 1")
         if instances is not None and instances < 1:
             raise ValueError("instances must be >= 1")
-        if engine not in ENGINES:
+        if engine not in ENGINE_CHOICES:
             raise ValueError(f"unknown engine {engine!r}")
+        if id_mode not in ID_MODES:
+            raise ValueError(
+                f"unknown id mode {id_mode!r}; known: {sorted(ID_MODES)}"
+            )
         self.workers = workers
         self.samples = samples
         self.instances = instances
         self.engine = engine
+        self.id_mode = id_mode
         self.check = check
 
     # ------------------------------------------------------------------
@@ -342,7 +395,8 @@ class SweepRunner:
                         tasks.append(_Task(
                             family=name, n=n, index=index, algorithm=algo,
                             samples=self.samples, seed=seed,
-                            engine=self.engine, check=self.check,
+                            engine=self.engine, id_mode=self.id_mode,
+                            check=self.check,
                         ))
         if len(set(cells)) != len(cells):
             raise ValueError(
@@ -412,6 +466,7 @@ class SweepRunner:
                 },
                 "seed": seed,
                 "engine": self.engine,
+                "id_mode": self.id_mode,
                 "check": self.check,
                 # deliberately no worker count: the payload must be
                 # byte-identical for any parallelism level
@@ -497,9 +552,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--instances", type=int, default=None,
                         help="instances per (family, n) cell "
                         "(default: family-specific)")
-    parser.add_argument("--engine", choices=list(ENGINES),
-                        default="incremental",
-                        help="simulator engine (default: incremental)")
+    parser.add_argument("--engine", choices=list(ENGINE_CHOICES),
+                        default="auto",
+                        help="simulator engine; auto picks batched for "
+                        "algorithms that support it (default: auto)")
+    parser.add_argument("--id-mode", choices=sorted(ID_MODES),
+                        default="random", dest="id_mode",
+                        help="ID-assignment mode: random (digest-seeded) "
+                        "or a deterministic adversarial assignment "
+                        "(default: random)")
     parser.add_argument("--check", action="store_true",
                         help="gate on validity: exit nonzero if any produced "
                         "labeling violates its algorithm's declared LCL")
@@ -514,6 +575,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runner = SweepRunner(
         workers=args.workers, samples=args.samples,
         instances=args.instances, engine=args.engine,
+        id_mode=args.id_mode,
     )
     text = runner.run_json(families, args.sizes, args.algorithms, args.seed)
     payload = json.loads(text)

@@ -1,0 +1,271 @@
+"""Batched-engine internals and the satellite APIs that ride with them.
+
+The observational three-way engine contract is pinned in
+``tests/test_engine_equivalence.py``; this module goes one level down:
+the :class:`~repro.local.frontier.FrontierScheduler` must grow layer
+pools byte-identical to per-node :class:`~repro.local.algorithm.BallStore`
+growth (same lists, same order), plus coverage for the adversarial ID
+modes, the cached trace percentiles, and the sweep's auto-engine /
+id-mode axes.
+"""
+
+import random
+
+import pytest
+
+from repro.families import get_family
+from repro.local import (
+    ID_MODES,
+    BallStore,
+    BatchedViews,
+    FrontierScheduler,
+    Graph,
+    LocalSimulator,
+    balanced_tree,
+    bit_reversal_ids,
+    boundary_clustered_ids,
+    cycle_graph,
+    descending_ids,
+    disjoint_union,
+    make_ids,
+    path_graph,
+    random_ids,
+    sequential_ids,
+    validate_ids,
+)
+from repro.local.metrics import ExecutionTrace
+
+
+def _scheduler_corpus():
+    cases = [
+        ("path7", path_graph(7)),
+        ("cycle8", cycle_graph(8)),
+        ("btree", balanced_tree(2, 3)),
+        ("forest", Graph(9, [(0, 1), (1, 2), (3, 4), (6, 7), (7, 8)])),
+        ("singleton", Graph(1, [])),
+    ]
+    for i, g in enumerate(get_family("caterpillar").instances(14, seed=5, count=2)):
+        cases.append((f"caterpillar{i}", g))
+    return cases
+
+
+SCHED_CORPUS = _scheduler_corpus()
+
+
+class TestFrontierScheduler:
+    @pytest.mark.parametrize(
+        "name,graph", SCHED_CORPUS, ids=[c[0] for c in SCHED_CORPUS]
+    )
+    def test_layers_match_ballstore(self, name, graph):
+        n = graph.n
+        sched = FrontierScheduler(graph, bytearray(n))
+        radius = n + 1
+        sched.grow_to(radius)
+        for v in range(n):
+            store = BallStore(graph, v)
+            store.grow_to(radius)
+            # identical lists in identical order, including the trailing
+            # empty layer the BallStore convention records
+            assert sched.pool(v) == store._layers, (name, v)
+            assert bool(sched.complete[v]) == store.complete, (name, v)
+            assert int(sched.ball_size[v]) == len(store.dist), (name, v)
+
+    @pytest.mark.parametrize(
+        "name,graph", SCHED_CORPUS, ids=[c[0] for c in SCHED_CORPUS]
+    )
+    def test_views_match_fresh_extraction(self, name, graph):
+        n = graph.n
+        ids = random_ids(n, rng=random.Random(3))
+        commit_round = [None] * n
+        outputs = [None] * n
+        sched = FrontierScheduler(graph, bytearray(n))
+        views = BatchedViews(graph, ids, commit_round, outputs, sched)
+        for t in range(min(n, 5)):
+            views.round = t
+            for v in range(n):
+                view = views.view_of(v)
+                # same dict contents AND iteration order as a from-scratch
+                # extraction — the engine-contract requirement
+                assert list(view.nodes().items()) == \
+                    list(graph.ball(v, t).items()), (name, v, t)
+
+    def test_committed_centers_stop_growing(self):
+        g = path_graph(9)
+        committed = bytearray(9)
+        sched = FrontierScheduler(g, committed)
+        sched.grow_to(2)
+        committed[4] = 1
+        sched.grow_to(4)
+        # node 4's pool froze at radius 2; its neighbours kept growing
+        assert len(sched.pool(4)) == 3
+        assert len(sched.pool(3)) == 5
+        assert int(sched.ball_size[4]) == 5
+
+    def test_atlas_layers_shared_with_ballstore_format(self):
+        g = balanced_tree(2, 2)
+        atlas = {}
+        sched = FrontierScheduler(g, bytearray(g.n), atlas=atlas)
+        sched.grow_to(3)
+        # the scheduler populated the exact atlas keys run_batch shares
+        store = BallStore(g, 0, layers=atlas[("layers", 0)])
+        store.grow_to(3)
+        assert store.dist == g.ball(0, 3)
+
+    def test_lazy_growth(self):
+        g = path_graph(50)
+        sched = FrontierScheduler(g, bytearray(50))
+        assert sched.radius == 0  # nothing queried, nothing swept
+        sched.grow_to(0)
+        assert sched.radius == 0
+
+    def test_ball_fact_arrays_are_read_only(self):
+        # mutating shared engine state must raise, not silently corrupt
+        # later rounds (same sealing philosophy as the read-only View ball)
+        g = path_graph(5)
+        views = BatchedViews(g, [1, 2, 3, 4, 5], [None] * 5, [None] * 5,
+                             FrontierScheduler(g, bytearray(5)))
+        views.round = 1
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            views.complete_mask()[0] = True
+        with _pytest.raises(ValueError):
+            views.ball_sizes()[0] = 99
+
+
+class TestAdversarialIds:
+    @pytest.mark.parametrize("mode", sorted(ID_MODES))
+    @pytest.mark.parametrize("n", [1, 2, 7, 16, 33])
+    def test_modes_produce_valid_assignments(self, mode, n):
+        ids = make_ids(mode, n, rng=random.Random(0))
+        assert len(ids) == n
+        validate_ids(ids)
+
+    def test_descending(self):
+        assert descending_ids(5) == [5, 4, 3, 2, 1]
+
+    def test_boundary_clustered(self):
+        assert boundary_clustered_ids(6) == [1, 3, 5, 6, 4, 2]
+        assert boundary_clustered_ids(5) == [1, 3, 5, 4, 2]
+        assert boundary_clustered_ids(1) == [1]
+
+    def test_bit_reversal_is_permutation(self):
+        for n in (1, 2, 8, 12, 16):
+            ids = bit_reversal_ids(n)
+            assert sorted(ids) == list(range(1, n + 1))
+        # n=8, 3 bits: reversed values 0,4,2,6,1,5,3,7 -> ranks
+        assert bit_reversal_ids(8) == [1, 5, 3, 7, 2, 6, 4, 8]
+
+    def test_deterministic_modes_ignore_rng(self):
+        for mode in ("sequential", "descending", "bit_reversal",
+                     "boundary_clustered"):
+            a = make_ids(mode, 9, rng=random.Random(1))
+            b = make_ids(mode, 9, rng=random.Random(2))
+            assert a == b
+
+    def test_registry_declares_determinism(self):
+        # the declared flag is what the sweep's sample-collapse relies on:
+        # it must match each mode's actual rng behaviour
+        for name, entry in ID_MODES.items():
+            a = entry.fn(9, random.Random(1))
+            b = entry.fn(9, random.Random(2))
+            assert entry.deterministic == (a == b), name
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(KeyError):
+            make_ids("nope", 5)
+
+    def test_adversarial_ids_run_through_all_engines(self):
+        from repro.algorithms import ColeVishkin3Coloring
+        from repro.local import ENGINES
+
+        g = cycle_graph(12)
+        for mode in ("descending", "bit_reversal", "boundary_clustered"):
+            ids = make_ids(mode, 12)
+            ref = LocalSimulator(engine="reference").run(
+                g, ColeVishkin3Coloring(), ids)
+            for engine in ENGINES:
+                tr = LocalSimulator(engine=engine).run(
+                    g, ColeVishkin3Coloring(), ids)
+                assert tr.rounds == ref.rounds and tr.outputs == ref.outputs
+
+
+class TestPercentileCache:
+    def test_percentiles_bulk_matches_scalar(self):
+        tr = ExecutionTrace(rounds=[5, 1, 4, 2, 3], outputs=[0] * 5)
+        qs = (0, 25, 50, 75, 99, 100)
+        assert tr.percentiles(qs) == [tr.percentile(q) for q in qs]
+
+    def test_sort_is_cached(self):
+        tr = ExecutionTrace(rounds=[3, 1, 2], outputs=[0] * 3)
+        assert tr.percentile(50) == 2
+        assert tr._ordered == [1, 2, 3]
+        assert tr.percentile(100) == 3
+
+    def test_summary_uses_bulk_accessor(self):
+        tr = ExecutionTrace(rounds=[1, 2, 3, 4], outputs=[0] * 4)
+        s = tr.summary()
+        assert s["median"] == 2.0 and s["p99"] == 4.0
+
+    def test_bounds_still_enforced(self):
+        tr = ExecutionTrace(rounds=[1], outputs=[0])
+        with pytest.raises(ValueError):
+            tr.percentile(101)
+        with pytest.raises(ValueError):
+            tr.percentiles([50, -1])
+
+
+class TestSweepAxes:
+    def test_auto_engine_and_id_mode_recorded_in_spec(self):
+        from repro.sweep import SweepRunner
+
+        payload = SweepRunner(samples=1, instances=1, id_mode="descending").run(
+            ["random_tree"], [12], ["two_coloring"])
+        assert payload["spec"]["engine"] == "auto"
+        assert payload["spec"]["id_mode"] == "descending"
+
+    def test_auto_matches_explicit_engines(self):
+        from repro.sweep import SweepRunner
+
+        args = (["spider"], [12], ["two_coloring", "rake_layering"])
+        auto = SweepRunner(samples=2, engine="auto").run(*args, seed=5)
+        inc = SweepRunner(samples=2, engine="incremental").run(*args, seed=5)
+        bat = SweepRunner(samples=2, engine="batched").run(*args, seed=5)
+        for a, i, b in zip(auto["cells"], inc["cells"], bat["cells"]):
+            assert a["node_averaged"] == i["node_averaged"] == b["node_averaged"]
+            assert a["worst_case"] == i["worst_case"] == b["worst_case"]
+
+    def test_id_mode_reaches_the_simulator(self):
+        # the sweep hands the mode's exact assignment to every run: with
+        # id_mode="sequential" on the canonical path family, outputs are
+        # the parity coloring rooted at handle 0
+        from repro.algorithms import CanonicalTwoColoring
+        from repro.sweep import SweepRunner
+
+        payload = SweepRunner(samples=1, instances=1,
+                              id_mode="sequential").run(
+            ["path"], [8], ["two_coloring"], seed=0)
+        cell = payload["cells"][0]
+        assert cell["validity"] == {"valid": 1, "violations": 0}
+        tr = LocalSimulator(engine="batched").run(
+            path_graph(8), CanonicalTwoColoring(), sequential_ids(8))
+        assert cell["node_averaged"]["max"] == tr.node_averaged()
+
+    def test_invalid_axes_rejected(self):
+        from repro.sweep import SweepRunner
+
+        with pytest.raises(ValueError):
+            SweepRunner(id_mode="nope")
+        with pytest.raises(ValueError):
+            SweepRunner(engine="warp")
+
+    def test_cli_id_mode_axis(self, capsys):
+        import json
+
+        from repro.sweep import main
+
+        rc = main(["--family", "path", "--sizes", "9", "--samples", "1",
+                   "--instances", "1", "--id-mode", "bit_reversal"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["id_mode"] == "bit_reversal"
+        assert payload["spec"]["engine"] == "auto"

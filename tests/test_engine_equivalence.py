@@ -1,11 +1,13 @@
-"""Engine equivalence: ``engine="incremental"`` vs ``engine="reference"``.
+"""Engine equivalence: ``reference`` vs ``incremental`` vs ``batched``.
 
 The contract (see :class:`repro.local.simulator.LocalSimulator`) is that
-the two engines are observationally identical: same ``(T_v, output)`` maps
-on every graph, algorithm and ID assignment.  This suite pins it over a
-seeded corpus covering both algorithm formulations (view-based and
-message-passing), plus the CSR substrate invariants the incremental engine
-leans on (ball equality with a naive BFS, networkx round-trips, shared
+all three engines are observationally identical: same ``(T_v, output)``
+maps on every graph, algorithm and ID assignment.  This suite pins it
+over a seeded corpus covering all algorithm formulations — view-based
+(through the batched engine's per-node fallback adapter), message-passing
+(global dynamics vs causal-cone oracle vs vectorized ``decide_batch``)
+and native batched — plus the CSR substrate invariants the fast engines
+lean on (ball equality with a naive BFS, networkx round-trips, shared
 BFS-layer reuse in ``run_batch``).
 """
 
@@ -17,20 +19,25 @@ import pytest
 from repro.algorithms import (
     CanonicalTwoColoring,
     ColeVishkin3Coloring,
+    DFreeAlgorithmA,
     GenericPhaseColoring,
+    RakeCompressLayering,
     WaitForWholeGraph,
     default_gammas_25,
     default_gammas_35,
 )
+from repro.lcl.dfree import A_INPUT, W_INPUT
 from repro.local import (
     CONTINUE,
     ENGINES,
     BallStore,
+    BatchedAlgorithm,
     Graph,
     LocalAlgorithm,
     LocalSimulator,
     MessageSimulator,
     balanced_tree,
+    cycle_graph,
     from_networkx,
     path_graph,
     random_ids,
@@ -40,12 +47,13 @@ from repro.local import (
 
 
 def corpus():
-    """Seeded (name, graph) instances: paths, stars, balanced trees."""
+    """Seeded (name, graph) instances: paths, cycles, stars, trees."""
     rng = random.Random(20240722)
     cases = [
         ("path2", path_graph(2)),
         ("path9", path_graph(9)),
         ("path24", path_graph(24)),
+        ("cycle11", cycle_graph(11)),
         ("star6", star_graph(6)),
         ("btree2x3", balanced_tree(2, 3)),
         ("btree3x2", balanced_tree(3, 2)),
@@ -56,6 +64,7 @@ def corpus():
 
 CORPUS = corpus()
 PATH_CORPUS = [(name, g, ids) for name, g, ids in CORPUS if g.max_degree() <= 2]
+FOREST_CORPUS = [(name, g, ids) for name, g, ids in CORPUS if g.is_forest()]
 
 
 class FirstVisibleOutput(LocalAlgorithm):
@@ -89,11 +98,19 @@ def view_algorithms():
 
 
 def assert_equivalent(graph, make_algorithm, ids):
+    """Run every engine and require (T_v, output) maps identical to the
+    reference oracle; returns the reference and batched traces."""
     ref = LocalSimulator(engine="reference").run(graph, make_algorithm(), ids)
-    inc = LocalSimulator(engine="incremental").run(graph, make_algorithm(), ids)
-    assert inc.rounds == ref.rounds
-    assert inc.outputs == ref.outputs
-    return ref, inc
+    traces = {"reference": ref}
+    for engine in ENGINES:
+        if engine == "reference":
+            continue
+        tr = LocalSimulator(engine=engine).run(graph, make_algorithm(), ids)
+        assert tr.rounds == ref.rounds, engine
+        assert tr.outputs == ref.outputs, engine
+        assert tr.meta["engine"] == engine
+        traces[engine] = tr
+    return ref, traces["batched"]
 
 
 class TestViewEngineEquivalence:
@@ -137,23 +154,185 @@ class TestMessageEngineEquivalence:
             )
 
 
+def _dfree_instance(n, seed, frac=0.2):
+    """Random tree with A/W inputs — a d-free weight instance."""
+    rng = random.Random(seed)
+    edges = [(rng.randrange(i), i) for i in range(1, n)]
+    inputs = [A_INPUT if rng.random() < frac else W_INPUT for _ in range(n)]
+    return Graph(n, edges, inputs)
+
+
+class _AllAtRoundOne(BatchedAlgorithm):
+    """Pure batched algorithm (no per-node form): everyone commits 0 at
+    round 1 — exercises the native decide_batch dispatch."""
+
+    name = "all-at-round-one"
+
+    def decide_batch(self, views, live, t):
+        if t < 1:
+            return []
+        sizes = views.ball_sizes()
+        return [(v, int(sizes[v])) for v in live]
+
+
+class _DoubleCommitter(BatchedAlgorithm):
+    name = "double-committer"
+
+    def decide_batch(self, views, live, t):
+        return [(live[0], 0), (live[0], 1)]
+
+
+class _OutOfRangeCommitter(BatchedAlgorithm):
+    name = "out-of-range-committer"
+
+    def __init__(self, v):
+        self._v = v
+
+    def decide_batch(self, views, live, t):
+        return [(self._v, 0)]
+
+
+class TestBatchedEngine:
+    """Batched-engine specifics beyond the shared three-way corpus."""
+
+    @pytest.mark.parametrize(
+        "name,graph,ids", FOREST_CORPUS, ids=[c[0] for c in FOREST_CORPUS]
+    )
+    def test_rake_compress_layering(self, name, graph, ids):
+        for gamma, ell in ((1, 2), (2, 3)):
+            assert_equivalent(
+                graph, lambda: RakeCompressLayering(gamma=gamma, ell=ell), ids
+            )
+
+    @pytest.mark.parametrize("n,seed", [(12, 0), (25, 3), (40, 7)])
+    def test_dfree_algorithm_a(self, n, seed):
+        graph = _dfree_instance(n, seed)
+        ids = random_ids(n, rng=random.Random(seed))
+        ref, bat = assert_equivalent(graph, lambda: DFreeAlgorithmA(d=1), ids)
+        # the whole network commits at the common round R = 3L + 3
+        assert len(set(ref.rounds)) == 1
+
+    def test_decide_batch_is_used_not_the_adapter(self):
+        class Probe(CanonicalTwoColoring):
+            def decide(self, view, n):  # pragma: no cover - must not run
+                raise AssertionError("batched engine fell back to decide()")
+
+        g = balanced_tree(2, 3)
+        tr = LocalSimulator(engine="batched").run(g, Probe())
+        ref = LocalSimulator(engine="reference").run(g, CanonicalTwoColoring())
+        assert tr.rounds == ref.rounds and tr.outputs == ref.outputs
+
+    def test_pure_batched_algorithm_runs_on_batched_only(self):
+        g = path_graph(5)
+        tr = LocalSimulator(engine="batched").run(g, _AllAtRoundOne())
+        assert tr.rounds == [1] * 5
+        # ball sizes at round 1 on a path: 2 at the ends, 3 inside
+        assert tr.outputs == [2, 3, 3, 3, 2]
+        for engine in ("incremental", "reference"):
+            with pytest.raises(TypeError):
+                LocalSimulator(engine=engine).run(g, _AllAtRoundOne())
+
+    def test_double_commit_raises(self):
+        from repro.local import SimulationError
+
+        with pytest.raises(SimulationError):
+            LocalSimulator(engine="batched").run(path_graph(4), _DoubleCommitter())
+
+    @pytest.mark.parametrize("v", [-1, 4, 99])
+    def test_out_of_range_commit_raises(self, v):
+        # a negative index must not silently alias node n-1
+        from repro.local import SimulationError
+
+        with pytest.raises(SimulationError):
+            LocalSimulator(engine="batched").run(
+                path_graph(4), _OutOfRangeCommitter(v))
+
+    def test_budget_error_identical_on_dynamics_fallback(self):
+        # a caller-supplied max_rounds must produce the exact same
+        # SimulationError on every engine, including the batched engine's
+        # inner-dynamics schedule derivation on non-forest inputs
+        from repro.local import SimulationError, disjoint_union
+
+        g = disjoint_union([path_graph(7), cycle_graph(6)])
+        ids = random_ids(g.n, rng=random.Random(1))
+        gammas = default_gammas_25(g.n, 2)
+        messages = set()
+        for engine in ENGINES:
+            with pytest.raises(SimulationError) as err:
+                LocalSimulator(max_rounds=3, engine=engine).run(
+                    g, GenericPhaseColoring(2, gammas, "2.5"), ids)
+            messages.add(str(err.value))
+        assert len(messages) == 1
+
+    @pytest.mark.parametrize("variant", ["2.5", "3.5"])
+    def test_generic_phases_on_cycle_components(self, variant):
+        # the fast-forward replay is undefined on cycles; the batched
+        # engine must fall back to the global dynamics and stay identical
+        # to the other engines on the full input domain
+        from repro.local import disjoint_union
+
+        g = disjoint_union([path_graph(7), cycle_graph(6), Graph(1, [])])
+        ids = random_ids(g.n, rng=random.Random(13))
+        k = 2
+        gammas = (default_gammas_25(g.n, k) if variant == "2.5"
+                  else default_gammas_35(g.n, k))
+        assert_equivalent(
+            g, lambda: GenericPhaseColoring(k, gammas, variant), ids
+        )
+
+    def test_message_algorithm_without_decide_batch_falls_back(self):
+        class PlainCV(ColeVishkin3Coloring):
+            decide_batch = None  # masks the vectorized path
+
+        g = path_graph(11)
+        ids = random_ids(11, rng=random.Random(2))
+        ref = LocalSimulator(engine="reference").run(g, ColeVishkin3Coloring(), ids)
+        tr = LocalSimulator(engine="batched").run(g, PlainCV(), ids)
+        assert tr.rounds == ref.rounds and tr.outputs == ref.outputs
+
+
 class TestRunBatch:
-    def test_batch_matches_individual_runs(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_batch_matches_individual_runs(self, engine):
         g = balanced_tree(2, 3)
         rng = random.Random(7)
         samples = [random_ids(g.n, rng=rng) for _ in range(4)]
-        sim = LocalSimulator()
+        sim = LocalSimulator(engine=engine)
         batch = sim.run_batch(g, CanonicalTwoColoring(), samples)
         for ids, tr in zip(samples, batch):
             solo = LocalSimulator().run(g, CanonicalTwoColoring(), ids)
             assert tr.rounds == solo.rounds and tr.outputs == solo.outputs
 
-    def test_batch_resets_per_run_caches(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_batch_resets_per_run_caches(self, engine):
         g = path_graph(6)
         samples = [[6, 5, 4, 3, 2, 1], [1, 2, 3, 4, 5, 6]]
-        batch = LocalSimulator().run_batch(g, WaitForWholeGraph(_ids_as_outputs), samples)
+        batch = LocalSimulator(engine=engine).run_batch(
+            g, WaitForWholeGraph(_ids_as_outputs), samples
+        )
         assert batch[0].outputs == samples[0]
         assert batch[1].outputs == samples[1]
+
+    def test_batched_engine_reuses_atlas_grown_by_incremental(self):
+        # one shared atlas across engines: incremental grows the layer
+        # pool with per-node BallStores, the batched scheduler must read
+        # and extend the very same lists (and vice versa)
+        g = balanced_tree(2, 3)
+        rng = random.Random(11)
+        samples = [random_ids(g.n, rng=rng) for _ in range(3)]
+        atlas = {}
+        inc = [
+            LocalSimulator(engine="incremental")._run(
+                g, CanonicalTwoColoring(), ids, atlas=atlas)
+            for ids in samples
+        ]
+        bat = [
+            LocalSimulator(engine="batched")._run(
+                g, CanonicalTwoColoring(), ids, atlas=atlas)
+            for ids in samples
+        ]
+        for a, b in zip(inc, bat):
+            assert a.rounds == b.rounds and a.outputs == b.outputs
 
 
 def _ids_as_outputs(graph, ids):

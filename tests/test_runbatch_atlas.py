@@ -64,6 +64,26 @@ class _MinIdRank(LocalAlgorithm):
         return ids.index(view.id_of(view.center))
 
 
+class _FirstVisibleOutput(LocalAlgorithm):
+    """Causality probe with ID-dependent commit rounds: min-ID node roots,
+    everyone else commits when an output turns visible.  Under run_batch
+    this makes later samples grow balls past what earlier samples cached,
+    exercising the cached->expanding transition of the shared pool."""
+
+    name = "first-visible-output"
+
+    def decide(self, view, n):
+        me = view.center
+        if view.id_of(me) == min(view.id_of(u) for u in view.nodes()):
+            if view.sees_whole_component() or len(view.nodes()) == n:
+                return "root"
+            return CONTINUE
+        for u in view.nodes():
+            if u != me and view.output_of(u) is not None:
+                return view.round
+        return CONTINUE
+
+
 class _DegreeSum2(MessageAlgorithm):
     """Commits at round 2 with the sum of degrees at distance <= 2."""
 
@@ -93,7 +113,7 @@ def _id_samples(g, seed, k=3):
 @pytest.mark.parametrize("engine", ENGINES)
 def test_view_batch_equals_fresh_runs(name, graph, engine):
     samples = _id_samples(graph, seed=hashlib_seed(name))
-    for algo_factory in (CanonicalTwoColoring, _MinIdRank):
+    for algo_factory in (CanonicalTwoColoring, _MinIdRank, _FirstVisibleOutput):
         sim = LocalSimulator(engine=engine)
         batched = sim.run_batch(graph, algo_factory(), samples)
         for ids, trace in zip(samples, batched):
@@ -103,9 +123,10 @@ def test_view_batch_equals_fresh_runs(name, graph, engine):
 
 
 @pytest.mark.parametrize("name,graph", CORPUS, ids=[c[0] for c in CORPUS])
-def test_message_batch_equals_fresh_runs(name, graph):
+@pytest.mark.parametrize("engine", ("incremental", "batched"))
+def test_message_batch_equals_fresh_runs(name, graph, engine):
     samples = _id_samples(graph, seed=hashlib_seed(name) + 1)
-    sim = LocalSimulator()
+    sim = LocalSimulator(engine=engine)
     batched = sim.run_batch(graph, _DegreeSum2(), samples)
     for ids, trace in zip(samples, batched):
         fresh = sim.run(graph, _DegreeSum2(), ids)
@@ -113,10 +134,16 @@ def test_message_batch_equals_fresh_runs(name, graph):
         assert trace.outputs == fresh.outputs, name
 
 
-def test_message_batch_on_paths_matches_reference():
+@pytest.mark.parametrize("engine", ("incremental", "batched"))
+def test_message_batch_on_paths_matches_reference(engine):
+    # under engine="batched" this exercises the vectorized decide_batch of
+    # Cole-Vishkin across run_batch reuse (per-execution array state must
+    # reset between the ID samples)
     g = disjoint_union([path_graph(6), path_graph(3), Graph(1, [])])
     samples = _id_samples(g, seed=99)
-    batched = LocalSimulator().run_batch(g, ColeVishkin3Coloring(), samples)
+    batched = LocalSimulator(engine=engine).run_batch(
+        g, ColeVishkin3Coloring(), samples
+    )
     for ids, trace in zip(samples, batched):
         ref = LocalSimulator(engine="reference").run(g, ColeVishkin3Coloring(), ids)
         assert trace.rounds == ref.rounds
