@@ -1,0 +1,78 @@
+"""Gap-decider memoization — the Theorem-7 census hot path.
+
+The problem-space census (:mod:`repro.gap.census`) runs
+``decide_node_averaged_class`` over every canonical problem of an
+enumerated space, and each decision replays the testing procedure once
+per candidate function.  The :class:`repro.gap.classes.GapCache` shares
+the rake closures, ``g`` label-sets, path relations and maximal
+rectangles across those replays; this benchmark gates the cache at
+**>= 2x** over the uncached decider on the census smoke space
+(``max_labels=2, delta=2`` — the same space the CI census smoke job
+runs), and asserts the verdicts are identical either way.
+"""
+
+import time
+
+from harness import record_table
+
+from repro.gap import decide_node_averaged_class
+from repro.gap.census import _decode, enumerate_space, spec_to_problem
+
+MAX_LABELS = 2
+DELTA = 2
+ELLS = (2, 3)  # compress path-length parameters decided per problem
+REPEATS = 3
+MIN_SPEEDUP = 2.0
+
+
+def decide_space(encodings, memoize: bool):
+    """Decide every canonical problem at each ``ell``; problems are
+    rebuilt per run so neither path benefits from a previous run's
+    per-problem memos."""
+    jobs = [
+        (spec_to_problem(_decode(enc)), ell)
+        for ell in ELLS for enc in encodings
+    ]
+    t0 = time.perf_counter()
+    verdicts = [
+        decide_node_averaged_class(p, delta=DELTA, ell=ell, memoize=memoize)
+        for p, ell in jobs
+    ]
+    return time.perf_counter() - t0, [v.klass for v in verdicts]
+
+
+def test_gap_decider_memoization_speedup():
+    encodings, _, raw = enumerate_space(max_labels=MAX_LABELS, delta=DELTA)
+
+    best = {True: float("inf"), False: float("inf")}
+    verdicts = {}
+    for _ in range(REPEATS):
+        for memoize in (True, False):
+            wall, klasses = decide_space(encodings, memoize)
+            best[memoize] = min(best[memoize], wall)
+            verdicts[memoize] = klasses
+    speedup = best[False] / best[True]
+
+    record_table(
+        "gap_decider",
+        f"Gap decider: {len(encodings)} canonical problems "
+        f"({raw} raw, max_labels={MAX_LABELS}, delta={DELTA}, "
+        f"ell in {ELLS})",
+        ["path", "wall_s", "speedup"],
+        [
+            ("unmemoized", f"{best[False]:.4f}", "1.0"),
+            ("GapCache", f"{best[True]:.4f}", f"{speedup:.2f}"),
+        ],
+        notes=[
+            f"best of {REPEATS} repeats per path; verdicts identical: "
+            f"{verdicts[True] == verdicts[False]}",
+            f"speedup gate: >= {MIN_SPEEDUP}x",
+        ],
+    )
+
+    assert verdicts[True] == verdicts[False], (
+        "memoization changed a Theorem-7 verdict"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"memoized decider only {speedup:.2f}x faster; need >= {MIN_SPEEDUP}x"
+    )

@@ -14,6 +14,7 @@ from .landscape import (
     invert_alpha1,
     landscape_regions,
     params_for_rational_x,
+    regions_for_verdict,
 )
 from .mathutil import (
     fit_power_law,
@@ -37,6 +38,7 @@ __all__ = [
     "invert_alpha1",
     "landscape_regions",
     "params_for_rational_x",
+    "regions_for_verdict",
     "fit_power_law",
     "fit_power_law_loglogstar",
     "geometric_range",

@@ -31,6 +31,7 @@ __all__ = [
     "find_logstar_problem",
     "Region",
     "landscape_regions",
+    "regions_for_verdict",
 ]
 
 
@@ -93,21 +94,23 @@ def alpha_vector_poly(x: float, k: int) -> List[float]:
     """The optimal ``(alpha_1, ..., alpha_{k-1})`` of Lemma 33.
 
     ``alpha_i = (2 - x) * alpha_{i-1}``; path lengths in the lower-bound
-    construction are ``l_i = n^{alpha_i}``.
+    construction are ``l_i = n^{alpha_i}``.  A ``k = 1`` problem has no
+    path levels, so the vector is empty.
     """
-    a1 = alpha1_poly(x, k)
-    out = [a1]
-    for _ in range(k - 2):
-        out.append((2.0 - x) * out[-1])
-    return out
+    return _alpha_vector(alpha1_poly(x, k), x, k)
+
 
 def alpha_vector_logstar(x: float, k: int) -> List[float]:
     """The optimal ``(alpha_1, ..., alpha_{k-1})`` of Lemma 36
-    (lengths ``l_i = (log* n)^{alpha_i}``)."""
-    a1 = alpha1_logstar(x, k)
-    out = [a1]
-    for _ in range(k - 2):
-        out.append((2.0 - x) * out[-1])
+    (lengths ``l_i = (log* n)^{alpha_i}``); empty at ``k = 1``."""
+    return _alpha_vector(alpha1_logstar(x, k), x, k)
+
+
+def _alpha_vector(a1: float, x: float, k: int) -> List[float]:
+    out: List[float] = []
+    for _ in range(k - 1):
+        out.append(a1)
+        a1 = (2.0 - x) * a1
     return out
 
 
@@ -302,3 +305,28 @@ def landscape_regions(after: bool = True) -> List[Region]:
                "no LCL in this range"),
         Region("point", "n", "n", "2-coloring + Cor. 60", "linear problems"),
     ]
+
+
+def regions_for_verdict(klass: str) -> List[Region]:
+    """The Figure-2 regions a Theorem-7 verdict is compatible with —
+    what the problem-space census (:mod:`repro.gap.census`) records next
+    to each decided problem.
+
+    * ``"O(1)"`` — exactly the constant point (membership is decidable);
+    * ``"logstar-regime"`` — the Theorem-6 dense band together with the
+      ``log* n`` point (the verdict gives ``(log* n)^{Omega(1)}`` and
+      ``O(log* n)``, nothing finer);
+    * ``"no-good-function"`` — outside the ``log*`` regime entirely: the
+      polynomial dense band or the linear point (gaps excluded — no LCL
+      lives in them).
+    """
+    regions = landscape_regions(after=True)
+    if klass == "O(1)":
+        wanted = {"1"}
+    elif klass == "logstar-regime":
+        wanted = {"(log* n)^{Omega(1)}", "log* n"}
+    elif klass == "no-good-function":
+        wanted = {"n^{Omega(1)}", "n"}
+    else:
+        raise ValueError(f"unknown verdict class {klass!r}")
+    return [r for r in regions if r.low in wanted and r.kind != "gap"]

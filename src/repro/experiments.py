@@ -38,9 +38,24 @@ EXPERIMENTS: Dict[str, str] = {
 }
 
 
-def results_dir() -> str:
+def _results_candidates() -> list:
+    """Recorded-table locations, in preference order: the repo-checkout
+    layout (three levels above this module) and, for installed packages
+    — where that path points into ``site-packages`` — the current
+    working directory."""
     here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    return os.path.join(here, "benchmarks", "results")
+    return [
+        os.path.join(here, "benchmarks", "results"),
+        os.path.join(os.getcwd(), "benchmarks", "results"),
+    ]
+
+
+def results_dir() -> str:
+    candidates = _results_candidates()
+    for candidate in candidates:
+        if os.path.isdir(candidate):
+            return candidate
+    return candidates[0]
 
 
 def main(argv) -> int:
@@ -62,6 +77,13 @@ def main(argv) -> int:
                 with open(os.path.join(rdir, fname)) as fh:
                     print(fh.read())
                 shown = True
+    else:
+        looked = " or ".join(_results_candidates())
+        print(
+            f"no benchmarks/results directory found (looked in {looked}); "
+            f"run from a repo checkout or from a directory holding the "
+            f"recorded tables"
+        )
     if not shown:
         print(
             f"no recorded table for {key}; run "

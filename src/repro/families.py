@@ -30,7 +30,6 @@ register their lower-bound constructions this way).
 
 from __future__ import annotations
 
-import hashlib
 import heapq
 import math
 import random
@@ -38,6 +37,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .constructions.trees import random_tree as _random_attachment_tree
+from .parallel import stable_seed
 from .local.graph import (
     Graph,
     balanced_tree,
@@ -66,10 +66,7 @@ __all__ = [
 def _instance_seed(name: str, n: int, seed: int, index: int) -> int:
     """Stable cross-process seed for instance ``index`` of a family sweep
     (independent of ``PYTHONHASHSEED``, unlike built-in ``hash``)."""
-    digest = hashlib.blake2b(
-        f"{name}|{n}|{seed}|{index}".encode(), digest_size=8
-    ).digest()
-    return int.from_bytes(digest, "big")
+    return stable_seed(name, n, seed, index)
 
 
 @dataclass(frozen=True)

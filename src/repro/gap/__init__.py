@@ -1,6 +1,7 @@
 """Section-11 machinery: classes, testing procedure, Theorem-7 decider."""
 
 from .classes import (
+    GapCache,
     g_single_node,
     leaf_label_sets,
     maximal_rectangles,
@@ -17,6 +18,7 @@ from .problems import all_equal, edge_2coloring, edge_3coloring, free_labeling
 from .testing import RectangleChooser, TestOutcome, run_testing_procedure
 
 __all__ = [
+    "GapCache",
     "g_single_node",
     "leaf_label_sets",
     "maximal_rectangles",

@@ -1,0 +1,532 @@
+"""Problem-space census: Theorem 7 over *every* small black-white LCL.
+
+The paper's headline decidability result (Theorem 7) is a per-problem
+decision procedure; this module scales it into a landscape workload in
+the spirit of Figures 1/2 and [BBK+23b]'s density results — classify an
+**entire enumerated problem space** at once:
+
+1. **Enumerate** every :class:`~repro.lcl.blackwhite.BlackWhiteLCL`
+   with ``|Sigma_in| <= max_inputs``, ``|Sigma_out| <= max_labels`` and
+   constraints given extensionally as the allowed multisets of
+   ``(input, output)`` pairs of sizes ``1..delta`` (the degree bound of
+   the tree universe the testing procedure explores).
+2. **Canonicalize** up to the problem symmetries — output-label
+   permutations, input-label permutations, and the white/black swap
+   (recolouring the tree) — so each isomorphism class is decided once;
+   the orbit size is recorded.
+3. **Decide** each canonical problem with
+   :func:`~repro.gap.decider.decide_node_averaged_class`, fanned over a
+   ``fork`` pool with the same task-order aggregation discipline as
+   :class:`~repro.sweep.SweepRunner`: the JSON payload is
+   **byte-identical at every worker count**.
+4. **Cross-validate**: problems with a registered empirical witness (a
+   :data:`repro.sweep.ALGORITHMS` entry solving the node-form problem on
+   a witness family) are swept through the existing
+   ``SweepRunner``/checker-kernel path, the node-averaged growth across
+   sizes is classified as ``flat`` / ``intermediate`` / ``linear``, and
+   the census gates on the verdict agreeing with the measured class
+   (an ``O(1)`` verdict must coincide with flat growth).
+
+Verdicts are mapped onto the Figure-2 landscape regions via
+:func:`repro.analysis.landscape.regions_for_verdict`.
+
+CLI
+---
+::
+
+    python -m repro.gap.census --max-labels 2 --delta 2 --workers 4
+
+Exits nonzero if any cross-validated verdict disagrees with its measured
+growth class (or a witness sweep produced an invalid labeling).
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..analysis.landscape import regions_for_verdict
+from ..lcl.blackwhite import BLACK, WHITE, BlackWhiteLCL
+from ..parallel import fork_map, stable_digest
+from .decider import decide_node_averaged_class
+from .problems import all_equal, edge_2coloring, edge_3coloring, free_labeling
+
+__all__ = [
+    "ProblemSpec",
+    "enumerate_multisets",
+    "enumerate_space",
+    "canonical_encoding",
+    "spec_to_problem",
+    "spec_from_problem",
+    "CrossCheck",
+    "CROSS_CHECKS",
+    "classify_growth",
+    "VERDICT_GROWTH_AGREEMENT",
+    "run_census",
+    "census_json",
+    "main",
+]
+
+#: a constraint multiset: the sorted tuple of (input-index, output-index)
+#: pairs incident to one node
+Multiset = Tuple[Tuple[int, int], ...]
+
+Encoding = Tuple  # nested-tuple canonical encoding of a ProblemSpec
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """An extensional black-white LCL: the allowed pair multisets per
+    colour, over index alphabets ``0..n_in-1`` / ``0..n_out-1`` and node
+    degrees ``1..delta``."""
+
+    n_in: int
+    n_out: int
+    delta: int
+    white: FrozenSet[Multiset]
+    black: FrozenSet[Multiset]
+
+    def encode(self) -> Encoding:
+        """A deterministic nested-tuple encoding (sortable, picklable)."""
+        return (
+            self.n_in, self.n_out, self.delta,
+            tuple(sorted(self.white)), tuple(sorted(self.black)),
+        )
+
+
+def enumerate_multisets(n_in: int, n_out: int, delta: int) -> List[Multiset]:
+    """All pair multisets of sizes ``1..delta`` in deterministic order."""
+    pairs = [(i, o) for i in range(n_in) for o in range(n_out)]
+    out: List[Multiset] = []
+    for size in range(1, delta + 1):
+        out.extend(itertools.combinations_with_replacement(pairs, size))
+    return out
+
+
+def _transforms(n_in: int, n_out: int):
+    """The symmetry group: input perms x output perms x colour swap."""
+    for pi_in in itertools.permutations(range(n_in)):
+        for pi_out in itertools.permutations(range(n_out)):
+            for swap in (False, True):
+                yield pi_in, pi_out, swap
+
+
+def canonical_encoding(spec: ProblemSpec) -> Encoding:
+    """The lexicographically smallest encoding over the symmetry orbit."""
+    def remap(allowed: FrozenSet[Multiset], pi_in, pi_out) -> Tuple:
+        return tuple(sorted(
+            tuple(sorted((pi_in[i], pi_out[o]) for i, o in ms))
+            for ms in allowed
+        ))
+
+    best: Optional[Encoding] = None
+    for pi_in, pi_out, swap in _transforms(spec.n_in, spec.n_out):
+        w = remap(spec.white, pi_in, pi_out)
+        b = remap(spec.black, pi_in, pi_out)
+        if swap:
+            w, b = b, w
+        cand = (spec.n_in, spec.n_out, spec.delta, w, b)
+        if best is None or cand < best:
+            best = cand
+    return best
+
+
+def _decode(encoding: Encoding) -> ProblemSpec:
+    n_in, n_out, delta, white, black = encoding
+    return ProblemSpec(n_in, n_out, delta,
+                       frozenset(white), frozenset(black))
+
+
+def spec_name(encoding: Encoding) -> str:
+    """Deterministic digest name for a canonical problem."""
+    n_in, n_out, delta = encoding[0], encoding[1], encoding[2]
+    return f"bw{n_in}x{n_out}d{delta}-{stable_digest(encoding, size=6)}"
+
+
+def spec_to_problem(spec: ProblemSpec) -> BlackWhiteLCL:
+    """Materialize the spec as a :class:`BlackWhiteLCL` whose constraints
+    are membership in the allowed multiset sets (degree > ``delta`` or an
+    empty neighbourhood is disallowed — the census universe is trees of
+    maximum degree ``delta``)."""
+    in_index = {i: i for i in range(spec.n_in)}
+    out_index = {o: o for o in range(spec.n_out)}
+
+    def predicate(allowed: FrozenSet[Multiset]):
+        def check(pairs: Tuple) -> bool:
+            try:
+                ms = tuple(sorted(
+                    (in_index[i], out_index[o]) for i, o in pairs
+                ))
+            except (KeyError, TypeError):
+                return False  # off-alphabet label
+            return ms in allowed
+        return check
+
+    return BlackWhiteLCL(
+        spec_name(spec.encode()),
+        tuple(range(spec.n_in)),
+        tuple(range(spec.n_out)),
+        predicate(spec.white),
+        predicate(spec.black),
+    )
+
+
+def spec_from_problem(problem: BlackWhiteLCL, delta: int = 2) -> ProblemSpec:
+    """Extract the extensional spec of any black-white LCL by probing its
+    constraint predicates on every multiset of sizes ``1..delta`` —
+    the bridge from the predicate-style registry problems
+    (:mod:`repro.gap.problems`) into the census space."""
+    n_in, n_out = len(problem.sigma_in), len(problem.sigma_out)
+    allowed = {WHITE: set(), BLACK: set()}
+    for ms in enumerate_multisets(n_in, n_out, delta):
+        pairs = [(problem.sigma_in[i], problem.sigma_out[o]) for i, o in ms]
+        for color in (WHITE, BLACK):
+            if problem.allows(color, pairs):
+                allowed[color].add(ms)
+    return ProblemSpec(n_in, n_out, delta,
+                       frozenset(allowed[WHITE]), frozenset(allowed[BLACK]))
+
+
+# ----------------------------------------------------------------------
+# enumeration
+# ----------------------------------------------------------------------
+def space_size(max_labels: int, delta: int, max_inputs: int = 1) -> int:
+    """Raw problem count before canonicalization."""
+    total = 0
+    for n_in in range(1, max_inputs + 1):
+        for n_out in range(1, max_labels + 1):
+            m = len(enumerate_multisets(n_in, n_out, delta))
+            total += (1 << m) ** 2
+    return total
+
+
+def enumerate_space(
+    max_labels: int, delta: int, max_inputs: int = 1,
+) -> Tuple[List[Encoding], Dict[Encoding, int], int]:
+    """Enumerate and canonicalize the whole space.
+
+    Returns ``(canonical encodings sorted, orbit sizes, raw count)``:
+    each canonical encoding represents its isomorphism class, and
+    ``orbit[enc]`` counts the raw problems that collapsed onto it.
+    """
+    orbit: Dict[Encoding, int] = {}
+    raw = 0
+    for n_in in range(1, max_inputs + 1):
+        for n_out in range(1, max_labels + 1):
+            multisets = enumerate_multisets(n_in, n_out, delta)
+            subsets = [
+                frozenset(c)
+                for size in range(len(multisets) + 1)
+                for c in itertools.combinations(multisets, size)
+            ]
+            for white in subsets:
+                for black in subsets:
+                    raw += 1
+                    enc = canonical_encoding(
+                        ProblemSpec(n_in, n_out, delta, white, black)
+                    )
+                    orbit[enc] = orbit.get(enc, 0) + 1
+    return sorted(orbit), orbit, raw
+
+
+# ----------------------------------------------------------------------
+# deciding (the fanned-out worker)
+# ----------------------------------------------------------------------
+def _decide_task(task: Tuple[Encoding, int, int]) -> Tuple[str, str]:
+    """One canonical problem: rebuild it from its encoding inside the
+    worker (nothing but tuples crosses the pool boundary — the
+    :class:`SweepRunner` discipline) and decide its Theorem-7 class."""
+    encoding, ell, max_functions = task
+    problem = spec_to_problem(_decode(encoding))
+    verdict = decide_node_averaged_class(
+        problem, delta=encoding[2], ell=ell, max_functions=max_functions,
+    )
+    return verdict.klass, verdict.detail
+
+
+# ----------------------------------------------------------------------
+# empirical cross-validation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrossCheck:
+    """Pairs a census problem with a registered sweep algorithm solving
+    its node-form equivalent on a witness family.  The node-averaged
+    growth of the algorithm across ``sizes`` is the empirical anchor the
+    Theorem-7 verdict must agree with."""
+
+    name: str
+    problem: Callable[[], BlackWhiteLCL]
+    algorithm: str
+    family: str = "path"
+    sizes: Tuple[int, ...] = (64, 512)
+
+
+def _register_census_algorithms() -> None:
+    """Register the O(1) empirical witness used by the cross-checks."""
+    from ..local.metrics import ExecutionTrace
+    from ..sweep import ALGORITHMS, AlgorithmSpec, register_algorithm
+
+    if "constant_labeling_ff" in ALGORITHMS:
+        return
+
+    def constant_ff(graph, ids):
+        return ExecutionTrace(rounds=[0] * graph.n, outputs=[0] * graph.n,
+                              algorithm="constant-labeling-ff")
+
+    register_algorithm(AlgorithmSpec(
+        "constant_labeling_ff", fast_forward=constant_ff,
+        description="radius-0 constant labeling — the O(1) census witness",
+    ))
+
+
+#: the built-in cross-checks; ``edge-3coloring`` only enters a census
+#: whose bounds cover three output labels
+CROSS_CHECKS: Tuple[CrossCheck, ...] = (
+    CrossCheck("free-labeling", free_labeling, "constant_labeling_ff"),
+    CrossCheck("all-equal", all_equal, "constant_labeling_ff"),
+    CrossCheck("edge-2coloring", edge_2coloring, "two_coloring"),
+    CrossCheck("edge-3coloring", edge_3coloring, "cole_vishkin"),
+)
+
+#: which measured growth classes each Theorem-7 verdict tolerates: O(1)
+#: demands flat curves; the logstar regime is indistinguishable from flat
+#: at feasible sizes but must not look linear; no-good-function problems
+#: (polynomial regime or worse) must visibly grow
+VERDICT_GROWTH_AGREEMENT: Dict[str, Tuple[str, ...]] = {
+    "O(1)": ("flat",),
+    "logstar-regime": ("flat", "intermediate"),
+    "no-good-function": ("intermediate", "linear"),
+}
+
+
+def classify_growth(points: Sequence[Tuple[int, float]]) -> str:
+    """``flat`` / ``intermediate`` / ``linear`` from (n, node-averaged)
+    measurements at increasing sizes."""
+    if len(points) < 2:
+        raise ValueError("need measurements at >= 2 sizes")
+    (n0, a0), (n1, a1) = points[0], points[-1]
+    if n1 <= n0:
+        raise ValueError("sizes must increase")
+    ratio = a1 / max(a0, 1.0)
+    if ratio <= 2.0:
+        return "flat"
+    if ratio >= (n1 / n0) / 2.0:
+        return "linear"
+    return "intermediate"
+
+
+def _cross_validate(
+    checks: Sequence[CrossCheck],
+    verdicts: Dict[Encoding, str],
+    delta: int,
+    workers: int,
+) -> List[Dict]:
+    """Run each applicable check's witness sweep (validity-checked
+    through the compiled kernel) and compare growth vs. verdict."""
+    from ..sweep import SweepRunner
+
+    _register_census_algorithms()
+    results: List[Dict] = []
+    for check in checks:
+        problem = check.problem()
+        enc = canonical_encoding(spec_from_problem(problem, delta))
+        klass = verdicts.get(enc)
+        if klass is None:
+            continue  # outside the enumerated bounds
+        payload = SweepRunner(
+            workers=workers, samples=1, instances=1, check=True,
+        ).run([check.family], list(check.sizes), [check.algorithm], seed=0)
+        points = [
+            (cell["n"], cell["node_averaged"]["max"])
+            for cell in payload["cells"]
+        ]
+        violations = sum(
+            cell["validity"]["violations"]
+            for cell in payload["cells"]
+            if cell["validity"] is not None
+        )
+        growth = classify_growth(points)
+        results.append({
+            "problem": check.name,
+            "key": spec_name(enc),
+            "verdict": klass,
+            "algorithm": check.algorithm,
+            "family": check.family,
+            "points": [{"n": n, "node_averaged": a} for n, a in points],
+            "growth": growth,
+            "violations": violations,
+            "agrees": (
+                growth in VERDICT_GROWTH_AGREEMENT[klass]
+                and violations == 0
+            ),
+        })
+    return results
+
+
+# ----------------------------------------------------------------------
+# the census
+# ----------------------------------------------------------------------
+def run_census(
+    max_labels: int = 2,
+    delta: int = 2,
+    max_inputs: int = 1,
+    ell: int = 2,
+    max_functions: int = 4096,
+    workers: int = 1,
+    max_problems: Optional[int] = None,
+    cross_validate: bool = True,
+) -> Dict:
+    """Enumerate, canonicalize, decide and cross-validate the space.
+
+    Returns a JSON-serializable payload that is byte-identical for every
+    ``workers`` value (see :func:`census_json`).  ``max_problems``
+    deterministically truncates the canonical list (recorded in the
+    spec) for smoke runs over spaces that would otherwise be too big.
+    """
+    if max_labels < 1 or max_inputs < 1:
+        raise ValueError("max_labels and max_inputs must be >= 1")
+    if delta < 2:
+        raise ValueError("delta must be >= 2")
+    encodings, orbit, raw = enumerate_space(max_labels, delta, max_inputs)
+    truncated = False
+    if max_problems is not None and len(encodings) > max_problems:
+        encodings = encodings[:max_problems]
+        truncated = True
+
+    tasks = [(enc, ell, max_functions) for enc in encodings]
+    decided = fork_map(_decide_task, tasks, workers)
+
+    verdicts: Dict[Encoding, str] = {}
+    problems: List[Dict] = []
+    counts: Dict[str, int] = {}
+    for enc, (klass, detail) in zip(encodings, decided):
+        verdicts[enc] = klass
+        counts[klass] = counts.get(klass, 0) + 1
+        problems.append({
+            "key": spec_name(enc),
+            "inputs": enc[0],
+            "outputs": enc[1],
+            "allowed_white": len(enc[3]),
+            "allowed_black": len(enc[4]),
+            "orbit": orbit[enc],
+            "verdict": klass,
+            "detail": detail,
+        })
+
+    cross = (
+        _cross_validate(CROSS_CHECKS, verdicts, delta, workers)
+        if cross_validate else []
+    )
+
+    return {
+        "spec": {
+            "max_labels": max_labels,
+            "max_inputs": max_inputs,
+            "delta": delta,
+            "ell": ell,
+            "max_functions": max_functions,
+            "raw_problems": raw,
+            "canonical_problems": len(encodings),
+            "max_problems": max_problems,
+            "truncated": truncated,
+            "cross_validate": cross_validate,
+            # deliberately no worker count: the payload must be
+            # byte-identical for any parallelism level
+        },
+        "problems": problems,
+        "summary": {
+            "verdicts": counts,
+            "regions": {
+                klass: [
+                    {"kind": r.kind, "low": r.low, "high": r.high,
+                     "source": r.source}
+                    for r in regions_for_verdict(klass)
+                ]
+                for klass in sorted(counts)
+            },
+        },
+        "cross_validation": cross,
+    }
+
+
+def census_json(**kwargs) -> str:
+    """The census payload as canonical JSON (sorted keys, 2-space indent,
+    trailing newline) — the byte-comparable artifact."""
+    return json.dumps(run_census(**kwargs), sort_keys=True, indent=2) + "\n"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gap.census",
+        description="Enumerate every small black-white LCL up to symmetry, "
+        "decide each one's Theorem-7 node-averaged class in parallel, and "
+        "cross-validate the verdicts against empirical family sweeps.",
+    )
+    parser.add_argument("--max-labels", type=int, default=2,
+                        help="max |Sigma_out| to enumerate (default: 2)")
+    parser.add_argument("--max-inputs", type=int, default=1,
+                        help="max |Sigma_in| to enumerate (default: 1)")
+    parser.add_argument("--delta", type=int, default=2,
+                        help="degree bound of the tree universe (default: 2)")
+    parser.add_argument("--ell", type=int, default=2,
+                        help="compress path-length parameter (default: 2)")
+    parser.add_argument("--max-functions", type=int, default=4096,
+                        help="DFS candidate budget per problem "
+                        "(default: 4096)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default: 1)")
+    parser.add_argument("--max-problems", type=int, default=None,
+                        help="deterministically truncate the canonical "
+                        "problem list (smoke runs on big spaces)")
+    parser.add_argument("--no-cross-validate", action="store_true",
+                        help="skip the empirical witness sweeps")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write JSON here instead of stdout")
+    args = parser.parse_args(argv)
+
+    text = census_json(
+        max_labels=args.max_labels, delta=args.delta,
+        max_inputs=args.max_inputs, ell=args.ell,
+        max_functions=args.max_functions, workers=args.workers,
+        max_problems=args.max_problems,
+        cross_validate=not args.no_cross_validate,
+    )
+    payload = json.loads(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+
+    spec = payload["spec"]
+    counts = payload["summary"]["verdicts"]
+    summary = (
+        f"census: {spec['raw_problems']} problems -> "
+        f"{spec['canonical_problems']} canonical; verdicts: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    )
+    print(summary, file=sys.stderr)
+    disagreements = [
+        c for c in payload["cross_validation"] if not c["agrees"]
+    ]
+    for c in payload["cross_validation"]:
+        status = "ok" if c["agrees"] else "DISAGREES"
+        print(
+            f"cross-validation [{status}]: {c['problem']} verdict "
+            f"{c['verdict']} vs measured {c['growth']} growth "
+            f"({c['algorithm']} on {c['family']})",
+            file=sys.stderr,
+        )
+    return 1 if disagreements else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

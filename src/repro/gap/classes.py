@@ -26,6 +26,7 @@ from ..lcl.blackwhite import BLACK, WHITE, BlackWhiteLCL
 
 __all__ = [
     "LabelSet",
+    "GapCache",
     "g_single_node",
     "leaf_label_sets",
     "node_feasible",
@@ -127,6 +128,97 @@ def path_relation(
                 if node_feasible(problem, colors[m - 1], fixed, pendant[m - 1]):
                     relation.add((left, right))
     return frozenset(relation)
+
+
+class GapCache:
+    """Per-problem compile cache for the Section-11 machinery.
+
+    One Theorem-7 decision runs the testing procedure once per candidate
+    function, and every run recomputes the same ``g`` label-sets, path
+    relations, and feasibility checks from scratch.  All of those are
+    pure functions of the problem, so — mirroring the per-graph compile
+    cache of :class:`repro.lcl.kernel.CompiledChecker` — a ``GapCache``
+    computes each distinct query once and shares it across every testing
+    run of the decision (and across the maximal-rectangle enumeration,
+    keyed per canonical relation).
+
+    ``memoize=False`` keeps the exact same interface but computes every
+    query directly — the baseline the decider benchmark compares against.
+    Queries are keyed on the (hashable) argument tuples; results are
+    independent of argument order wherever the underlying functions are,
+    so cache hits can never change a verdict — only the work done to
+    reach it (pinned by the equivalence tests).
+    """
+
+    def __init__(self, problem: BlackWhiteLCL, memoize: bool = True) -> None:
+        self.problem = problem
+        self.memoize = memoize
+        self._feasible: Dict = {}
+        self._g: Dict = {}
+        self._leaf: Dict = {}
+        self._relations: Dict = {}
+        self._rectangles: Dict = {}
+        #: whole-rake-closure memo, filled by the testing procedure: the
+        #: closure is a pure function of (entries, delta) and identical
+        #: across all DFS candidates that share a choice prefix
+        self.rake: Dict = {}
+
+    # -- cached entry points -------------------------------------------
+    def node_feasible(self, color, fixed, free) -> bool:
+        if not self.memoize:
+            return node_feasible(self.problem, color, fixed, free)
+        key = (color, tuple(fixed), tuple(free))
+        hit = self._feasible.get(key)
+        if hit is None:
+            hit = self._feasible[key] = node_feasible(
+                self.problem, color, fixed, free
+            )
+        return hit
+
+    def g_single_node(self, color, incoming, out_input) -> LabelSet:
+        if not self.memoize:
+            return g_single_node(self.problem, color, incoming, out_input)
+        key = (color, tuple(incoming), out_input)
+        hit = self._g.get(key)
+        if hit is None:
+            hit = self._g[key] = g_single_node(
+                self.problem, color, incoming, out_input
+            )
+        return hit
+
+    def leaf_label_sets(self, color) -> Dict[object, LabelSet]:
+        if not self.memoize:
+            return leaf_label_sets(self.problem, color)
+        hit = self._leaf.get(color)
+        if hit is None:
+            hit = self._leaf[color] = leaf_label_sets(self.problem, color)
+        return hit
+
+    def path_relation(
+        self, colors, edge_inputs, pendant, out_inputs
+    ) -> FrozenSet[Tuple[object, object]]:
+        if not self.memoize:
+            return path_relation(
+                self.problem, colors, edge_inputs, pendant, out_inputs
+            )
+        key = (
+            tuple(colors), tuple(edge_inputs),
+            tuple(tuple(p) for p in pendant), tuple(out_inputs),
+        )
+        hit = self._relations.get(key)
+        if hit is None:
+            hit = self._relations[key] = path_relation(
+                self.problem, colors, edge_inputs, pendant, out_inputs
+            )
+        return hit
+
+    def maximal_rectangles(self, relation) -> List[Tuple[LabelSet, LabelSet]]:
+        if not self.memoize:
+            return maximal_rectangles(relation)
+        hit = self._rectangles.get(relation)
+        if hit is None:
+            hit = self._rectangles[relation] = maximal_rectangles(relation)
+        return hit
 
 
 def maximal_rectangles(

@@ -19,16 +19,31 @@
   iff some constant-good function exists; otherwise the problem sits at
   ``(log* n)^{Omega(1)}`` or above (good function but none constant-good),
   or outside the ``log*`` regime entirely (no good function).
+
+Performance
+-----------
+The census (:mod:`repro.gap.census`) decides whole enumerated problem
+spaces, so the search is engineered like the verification kernel:
+
+* one :class:`~repro.gap.classes.GapCache` per decision memoizes the
+  ``g``/relation/feasibility queries and the maximal rectangles per
+  canonical relation across every testing run of the DFS (disable with
+  ``memoize=False`` — the benchmark baseline);
+* the candidate-function DFS keeps **one** live choice dict and a
+  trail/undo stack instead of copying the dict per branch;
+* :func:`decide_node_averaged_class` makes a **single** DFS pass with
+  the kernel's early-exit discipline: it remembers the first plain-good
+  function it meets and stops the moment a constant-good one appears,
+  instead of running one full search per question.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..lcl.blackwhite import BLACK, WHITE, BlackWhiteLCL
-from .classes import maximal_rectangles, node_feasible
+from .classes import GapCache
 from .testing import (
     Entry,
     RectangleChooser,
@@ -44,6 +59,74 @@ __all__ = [
     "GapVerdict",
 ]
 
+SearchResult = Optional[Tuple[RectangleChooser, TestOutcome]]
+
+
+def _search_functions(
+    problem: BlackWhiteLCL,
+    delta: int,
+    ell: int,
+    max_functions: int,
+    cache: GapCache,
+    require_constant: bool,
+) -> Tuple[SearchResult, SearchResult]:
+    """Depth-first search over the finite function space.
+
+    Functions are built lazily: whenever the testing procedure meets a
+    relation with no assigned rectangle, we branch over its maximal
+    rectangles.  The branch state is one shared choice dict plus a trail
+    of ``(relation, remaining-rectangles)`` frames; backtracking undoes
+    the top assignment in place instead of copying the dict per branch.
+
+    Returns ``(constant_good, good)``: the first constant-good candidate
+    met (``None`` unless ``require_constant``) and the first plain-good
+    one.  Stops at the first good candidate when ``require_constant`` is
+    false, at the first *constant*-good one otherwise.
+    """
+    chooser = RectangleChooser()
+    choices = chooser.choices
+    trail: List[Tuple[object, Iterator]] = []
+    first_good: SearchResult = None
+    tried = 0
+    while tried < max_functions:
+        tried += 1
+        dead_branch = False
+        try:
+            outcome = run_testing_procedure(
+                problem, chooser, delta, ell, cache=cache
+            )
+        except UnseenRelation as unseen:
+            rects = cache.maximal_rectangles(unseen.relation)
+            if rects:
+                rest = iter(rects)
+                choices[unseen.relation] = next(rest)
+                trail.append((unseen.relation, rest))
+                continue
+            dead_branch = True  # empty class: no rectangle to try
+        if not dead_branch and outcome.good:
+            witness = RectangleChooser(choices)  # frozen snapshot
+            if first_good is None:
+                first_good = (witness, outcome)
+                if not require_constant:
+                    return None, first_good
+            if require_constant and is_constant_good(
+                problem, chooser, outcome, delta=delta, cache=cache
+            ):
+                return (witness, outcome), first_good
+        # backtrack: advance the deepest frame with rectangles left
+        while trail:
+            relation, rest = trail[-1]
+            nxt = next(rest, None)
+            if nxt is None:
+                del choices[relation]
+                trail.pop()
+            else:
+                choices[relation] = nxt
+                break
+        else:
+            break  # every branch explored
+    return None, first_good
+
 
 def find_good_function(
     problem: BlackWhiteLCL,
@@ -51,45 +134,36 @@ def find_good_function(
     ell: int = 2,
     max_functions: int = 4096,
     require_constant_good: bool = False,
-) -> Optional[Tuple[RectangleChooser, TestOutcome]]:
-    """Search the finite function space for a good ``f_{Pi,infinity}``.
-
-    Functions are built lazily: whenever the testing procedure meets a
-    relation with no assigned rectangle, we branch over its maximal
-    rectangles (depth-first)."""
-    stack: List[Dict] = [{}]
-    tried = 0
-    while stack and tried < max_functions:
-        choices = stack.pop()
-        tried += 1
-        chooser = RectangleChooser(choices)
-        try:
-            outcome = run_testing_procedure(problem, chooser, delta, ell)
-        except UnseenRelation as unseen:
-            rects = maximal_rectangles(unseen.relation)
-            if not rects:
-                continue  # this branch dies: empty class
-            for rect in rects:
-                branched = dict(choices)
-                branched[unseen.relation] = rect
-                stack.append(branched)
-            continue
-        if outcome.good:
-            if require_constant_good and not is_constant_good(
-                problem, chooser, outcome
-            ):
-                continue
-            return chooser, outcome
-    return None
+    cache: Optional[GapCache] = None,
+) -> SearchResult:
+    """Search the finite function space for a good ``f_{Pi,infinity}``
+    (the first constant-good one with ``require_constant_good``)."""
+    if cache is None:
+        cache = GapCache(problem)
+    const, good = _search_functions(
+        problem, delta, ell, max_functions, cache, require_constant_good
+    )
+    return const if require_constant_good else good
 
 
 def is_constant_good(
     problem: BlackWhiteLCL,
     chooser: RectangleChooser,
     outcome: TestOutcome,
+    delta: int = 2,
+    cache: Optional[GapCache] = None,
 ) -> bool:
     """Definition 80 via the homogeneous-label criterion (see module
-    docstring)."""
+    docstring).
+
+    ``delta`` bounds node degrees exactly as in the testing procedure: at
+    ``delta = 2`` an interior path node already has both its edges, so no
+    pendant fits (extensional ``delta = 2`` problems — the census space —
+    reject every degree-3 multiset); for larger ``delta`` each node takes
+    up to one reachable pendant, mirroring ``_pendant_options``.
+    """
+    if cache is None:
+        cache = GapCache(problem, memoize=False)
     reachable_sets = [e[2] for e in outcome.entries]
     for lab in problem.sigma_out:
         if any(lab not in ls for ls in reachable_sets):
@@ -98,16 +172,18 @@ def is_constant_good(
         for color in (WHITE, BLACK):
             for inp in problem.sigma_in:
                 # interior path node with both edges labeled lab, plus any
-                # reachable pendant of the opposite colour (or none)
-                pendant_pool = [[]] + [
-                    [(e[1], e[2])]
-                    for e in outcome.entries
-                    if e[0] == (BLACK if color == WHITE else WHITE)
-                ]
+                # reachable pendant of the opposite colour (or none) when
+                # the degree bound leaves room for one
+                pendant_pool: List[List[Entry]] = [[]]
+                if delta > 2:
+                    pendant_pool += [
+                        [(e[1], e[2])]
+                        for e in outcome.entries
+                        if e[0] == (BLACK if color == WHITE else WHITE)
+                    ]
                 for pend in pendant_pool:
-                    if not node_feasible(
-                        problem, color,
-                        [(inp, lab), (inp, lab)], pend,
+                    if not cache.node_feasible(
+                        color, [(inp, lab), (inp, lab)], pend,
                     ):
                         ok = False
                         break
@@ -134,18 +210,28 @@ class GapVerdict:
 
 
 def decide_node_averaged_class(
-    problem: BlackWhiteLCL, delta: int = 2, ell: int = 2
+    problem: BlackWhiteLCL, delta: int = 2, ell: int = 2,
+    max_functions: int = 4096, memoize: bool = True,
 ) -> GapVerdict:
     """Theorem 7: decide whether the deterministic node-averaged
     complexity is O(1); the gap makes everything else ``(log* n)^{Omega(1)}``
-    or beyond."""
-    const = find_good_function(problem, delta, ell, require_constant_good=True)
+    or beyond.
+
+    One DFS pass answers both questions: the search stops as soon as a
+    constant-good function appears (O(1)) and otherwise remembers the
+    first plain-good one (logstar regime).  ``memoize=False`` disables
+    the shared :class:`~repro.gap.classes.GapCache` — same verdict,
+    every query recomputed (the benchmark baseline).
+    """
+    cache = GapCache(problem, memoize=memoize)
+    const, good = _search_functions(
+        problem, delta, ell, max_functions, cache, require_constant=True
+    )
     if const is not None:
         return GapVerdict(
             problem.name, "O(1)", const[0],
             "constant-good function found; node-averaged O(1)",
         )
-    good = find_good_function(problem, delta, ell)
     if good is not None:
         return GapVerdict(
             problem.name, "logstar-regime", good[0],

@@ -26,14 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..lcl.blackwhite import BLACK, WHITE, BlackWhiteLCL
-from .classes import (
-    LabelSet,
-    g_single_node,
-    leaf_label_sets,
-    maximal_rectangles,
-    node_feasible,
-    path_relation,
-)
+from .classes import GapCache, LabelSet
 
 __all__ = ["Entry", "RectangleChooser", "TestOutcome", "run_testing_procedure"]
 
@@ -82,16 +75,26 @@ def run_testing_procedure(
     ell: int = 2,
     max_iterations: int = 64,
     combo_budget: int = 200_000,
+    cache: Optional[GapCache] = None,
 ) -> TestOutcome:
     """Run Algorithm 1 until the reachable set stabilizes.
 
     ``delta`` bounds node degrees in the assembled trees (``delta = 2``
     is the path universe, which is where the Theorem-7 demos live);
     larger ``delta`` enumerates pendant combinations and can be costly.
+
+    ``cache`` shares the problem's :class:`GapCache` across runs — one
+    decision runs this procedure once per candidate function, and the
+    ``g``/relation/feasibility queries repeat almost verbatim between
+    candidates.  The budget accounting counts enumerated combinations,
+    not computed ones, so cached and uncached runs return identical
+    outcomes.
     """
+    if cache is None:
+        cache = GapCache(problem, memoize=False)
     entries: Set[Entry] = set()
     for color in (WHITE, BLACK):
-        for inp, ls in leaf_label_sets(problem, color).items():
+        for inp, ls in cache.leaf_label_sets(color).items():
             if not ls:
                 return TestOutcome(False, f"leaf of color {color} has empty g")
             entries.add((color, inp, ls))
@@ -103,48 +106,20 @@ def run_testing_procedure(
         before = len(entries)
 
         # ---- rake closure (2a-2c) ------------------------------------
-        while True:
-            added = False
-            for color in (WHITE, BLACK):
-                child_entries = [e for e in entries if e[0] == _opp(color)]
-                # 2a: no outgoing edge, 1..delta children
-                for x in range(1, delta + 1):
-                    for combo in itertools.combinations_with_replacement(
-                        child_entries, x
-                    ):
-                        budget -= 1
-                        if budget < 0:
-                            return TestOutcome(False, "combination budget exceeded")
-                        incoming = [(e[1], e[2]) for e in combo]
-                        if not node_feasible(problem, color, [], incoming):
-                            return TestOutcome(
-                                False,
-                                f"empty maximal class at a degree-{x} {color} node",
-                                entries, relations, iteration,
-                            )
-                # 2b: outgoing edge, 0..delta-1 children
-                for x in range(0, delta):
-                    for combo in itertools.combinations_with_replacement(
-                        child_entries, x
-                    ):
-                        incoming = [(e[1], e[2]) for e in combo]
-                        for out_inp in problem.sigma_in:
-                            budget -= 1
-                            if budget < 0:
-                                return TestOutcome(False, "combination budget exceeded")
-                            ls = g_single_node(problem, color, incoming, out_inp)
-                            if not ls:
-                                return TestOutcome(
-                                    False,
-                                    f"empty label-set g at a {color} node",
-                                    entries, relations, iteration,
-                                )
-                            entry = (color, out_inp, ls)
-                            if entry not in entries:
-                                entries.add(entry)
-                                added = True
-            if not added:
-                break
+        # the closure is a pure function of (entries, delta), so the
+        # cache replays it for every DFS candidate sharing this state;
+        # the recorded combination count keeps budget accounting (and
+        # with it every outcome) identical to an uncached run
+        status = _rake_closure(cache, entries, delta, budget)
+        combos = status[-1]
+        if status[0] == "budget" or budget < combos:
+            return TestOutcome(False, "combination budget exceeded")
+        budget -= combos
+        if status[0] == "fail":
+            return TestOutcome(
+                False, status[1], set(status[2]), relations, iteration,
+            )
+        entries = set(status[1])
 
         # ---- compress step (2f) --------------------------------------
         new_from_compress: Set[Entry] = set()
@@ -162,8 +137,8 @@ def run_testing_procedure(
                             budget -= len(problem.sigma_out) ** 2
                             if budget < 0:
                                 return TestOutcome(False, "combination budget exceeded")
-                            rel = path_relation(
-                                problem, colors, edge_inputs, pendants,
+                            rel = cache.path_relation(
+                                colors, edge_inputs, pendants,
                                 (out_inp, out_inp),
                             )
                             relations.add(rel)
@@ -187,6 +162,84 @@ def run_testing_procedure(
             return TestOutcome(True, "stabilized", entries, relations, iteration)
 
     return TestOutcome(False, "did not stabilize", entries, relations, max_iterations)
+
+
+def _rake_closure(
+    cache: GapCache, entries: Set[Entry], delta: int, limit: int
+):
+    """The rake fixpoint (steps 2a-2c) with whole-result memoization.
+
+    Returns ``("ok", closed-entries, combos)``, ``("fail", reason,
+    entries-at-failure, combos)`` or ``("budget", combos)`` where
+    ``combos`` is exactly the number of budget units an uncached
+    enumeration would consume up to the same outcome — the caller
+    charges them in one step, so cached and uncached runs exhaust the
+    budget at identical points.  ``limit`` (the remaining budget) aborts
+    the computation mid-enumeration just like the pre-cache inline loop;
+    aborted closures are *not* cached — a complete result is valid for
+    every budget via the ``combos`` comparison, a truncated one only for
+    the budget that truncated it.
+    """
+    key = (frozenset(entries), delta)
+    store = cache.rake if cache.memoize else None
+    if store is not None:
+        hit = store.get(key)
+        if hit is not None:
+            return hit
+    result = _compute_rake_closure(cache, entries, delta, limit)
+    if store is not None and result[0] != "budget":
+        store[key] = result
+    return result
+
+
+def _compute_rake_closure(
+    cache: GapCache, start: Set[Entry], delta: int, limit: int
+):
+    problem = cache.problem
+    entries = set(start)
+    combos = 0
+    while True:
+        added = False
+        for color in (WHITE, BLACK):
+            child_entries = [e for e in entries if e[0] == _opp(color)]
+            # 2a: no outgoing edge, 1..delta children
+            for x in range(1, delta + 1):
+                for combo in itertools.combinations_with_replacement(
+                    child_entries, x
+                ):
+                    combos += 1
+                    if combos > limit:
+                        return ("budget", combos)
+                    incoming = [(e[1], e[2]) for e in combo]
+                    if not cache.node_feasible(color, [], incoming):
+                        return (
+                            "fail",
+                            f"empty maximal class at a degree-{x} {color} node",
+                            frozenset(entries), combos,
+                        )
+            # 2b: outgoing edge, 0..delta-1 children
+            for x in range(0, delta):
+                for combo in itertools.combinations_with_replacement(
+                    child_entries, x
+                ):
+                    incoming = [(e[1], e[2]) for e in combo]
+                    for out_inp in problem.sigma_in:
+                        combos += 1
+                        if combos > limit:
+                            return ("budget", combos)
+                        ls = cache.g_single_node(color, incoming, out_inp)
+                        if not ls:
+                            return (
+                                "fail",
+                                f"empty label-set g at a {color} node",
+                                frozenset(entries), combos,
+                            )
+                        entry = (color, out_inp, ls)
+                        if entry not in entries:
+                            entries.add(entry)
+                            added = True
+        if not added:
+            return ("ok", frozenset(entries), combos)
 
 
 def _pendant_options(

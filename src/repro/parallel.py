@@ -1,0 +1,85 @@
+"""Shared determinism and fan-out helpers for parallel runners.
+
+Both the family sweeps (:mod:`repro.sweep`) and the problem-space census
+(:mod:`repro.gap.census`) follow the same discipline: every random draw
+is derived from a **stable digest** of the values that name the work unit
+(never from built-in ``hash``, which is salted per process), tasks are
+mapped over a ``fork`` multiprocessing pool, and results are re-assembled
+in task order — so the emitted JSON is **byte-identical at every worker
+count** and parallelism only changes wall-clock time.
+
+* :func:`stable_seed` — a 64-bit seed from a blake2b digest of the parts
+  joined with ``"|"`` (exactly the digest the sweep and family layers
+  have always used, now shared).
+* :func:`stable_digest` — the same digest as a short hex string, for
+  deterministic artifact names.
+* :func:`fork_map` — ordered ``pool.map`` over a fork-context pool,
+  falling back to an in-process loop at ``workers=1`` and failing loudly
+  on platforms without ``fork`` (spawn workers re-import fresh registries,
+  so dynamically registered families/algorithms/problems would vanish
+  mid-run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = ["stable_seed", "stable_digest", "fork_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def _digest(parts: Sequence[object], size: int) -> bytes:
+    return hashlib.blake2b(
+        "|".join(str(p) for p in parts).encode(), digest_size=size
+    ).digest()
+
+
+def stable_seed(*parts: object) -> int:
+    """A cross-process, ``PYTHONHASHSEED``-independent 64-bit seed derived
+    from ``parts`` (joined with ``"|"`` and hashed with blake2b)."""
+    return int.from_bytes(_digest(parts, 8), "big")
+
+
+def stable_digest(*parts: object, size: int = 8) -> str:
+    """The :func:`stable_seed` digest of ``parts`` as ``2 * size`` hex
+    characters — deterministic short names for derived artifacts."""
+    return _digest(parts, size).hex()
+
+
+def fork_map(
+    fn: Callable[[_T], _R],
+    tasks: Sequence[_T],
+    workers: int,
+    chunk_denominator: int = 4,
+) -> List[_R]:
+    """Map ``fn`` over ``tasks`` preserving task order.
+
+    ``workers=1`` (or a single task) runs in-process.  Otherwise the tasks
+    fan over a fork-context pool — ``pool.map``, never ``imap_unordered``,
+    because deterministic aggregates require results in task order.  Fork
+    workers inherit the parent's registries, so dynamically registered
+    families/algorithms/problems stay resolvable by name.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1 or len(tasks) <= 1:
+        return [fn(t) for t in tasks]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        # spawn workers re-import a fresh registry, so dynamically
+        # registered entries would vanish mid-run — fail loudly instead
+        # of crashing deep inside pool.map
+        raise RuntimeError(
+            "parallel runs need a fork-capable platform (spawn workers "
+            "cannot see dynamically registered families/algorithms/"
+            "problems); use workers=1"
+        )
+    processes = min(workers, len(tasks))
+    chunksize = max(1, len(tasks) // (processes * chunk_denominator))
+    with ctx.Pool(processes=processes) as pool:
+        return pool.map(fn, list(tasks), chunksize=chunksize)

@@ -54,15 +54,14 @@ paper's constructions).
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
-import multiprocessing
 import random
 import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .families import FAMILIES, Family, get_family, register_family
+from .parallel import fork_map, stable_seed
 from .local.graph import Graph
 from .local.ids import ID_MODES, id_space_size, make_ids
 from .local.metrics import ExecutionTrace
@@ -234,10 +233,7 @@ class _Task:
 def _sample_seed(family: str, n: int, seed: int, index: int, sample: int) -> int:
     """Stable cross-process seed for one ID draw; independent of the
     algorithm so every algorithm of a cell sees identical IDs."""
-    digest = hashlib.blake2b(
-        f"ids|{family}|{n}|{seed}|{index}|{sample}".encode(), digest_size=8
-    ).digest()
-    return int.from_bytes(digest, "big")
+    return stable_seed("ids", family, n, seed, index, sample)
 
 
 def _run_task(
@@ -490,25 +486,7 @@ class SweepRunner:
     def _map(
         self, tasks: List[_Task]
     ) -> List[Tuple[int, List[Tuple[float, int]], Optional[List[bool]]]]:
-        if self.workers == 1 or len(tasks) <= 1:
-            return [_run_task(t) for t in tasks]
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            # spawn workers re-import a fresh registry, so dynamically
-            # registered families/algorithms would vanish mid-sweep —
-            # fail loudly instead of crashing deep inside pool.map
-            raise RuntimeError(
-                "parallel sweeps need a fork-capable platform "
-                "(spawn workers cannot see dynamically registered "
-                "families/algorithms); use workers=1"
-            )
-        workers = min(self.workers, len(tasks))
-        chunksize = max(1, len(tasks) // (workers * 4))
-        with ctx.Pool(processes=workers) as pool:
-            # map (not imap_unordered): results come back in task order,
-            # which is what makes parallel aggregates deterministic
-            return pool.map(_run_task, tasks, chunksize=chunksize)
+        return fork_map(_run_task, tasks, self.workers)
 
 
 # ----------------------------------------------------------------------
@@ -562,8 +540,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "or a deterministic adversarial assignment "
                         "(default: random)")
     parser.add_argument("--check", action="store_true",
-                        help="gate on validity: exit nonzero if any produced "
-                        "labeling violates its algorithm's declared LCL")
+                        help="verify every produced labeling against its "
+                        "algorithm's declared LCL and exit nonzero on any "
+                        "violation; without the flag no verification runs "
+                        "and cells report validity: null")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write JSON here instead of stdout")
     args = parser.parse_args(argv)
@@ -575,7 +555,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runner = SweepRunner(
         workers=args.workers, samples=args.samples,
         instances=args.instances, engine=args.engine,
-        id_mode=args.id_mode,
+        id_mode=args.id_mode, check=args.check,
     )
     text = runner.run_json(families, args.sizes, args.algorithms, args.seed)
     payload = json.loads(text)

@@ -70,3 +70,37 @@ class TestExperimentsCli:
         monkeypatch.setattr(exp, "results_dir", lambda: str(tmp_path))
         assert exp.main(["prog", "e04"]) == 0
         assert "E4 table here" in capsys.readouterr().out
+
+    def test_results_dir_prefers_checkout_layout(self):
+        import repro.experiments as exp
+
+        # in this repo checkout the module-relative location exists
+        assert exp.results_dir() == exp._results_candidates()[0]
+
+    def test_results_dir_falls_back_to_cwd(self, tmp_path, monkeypatch):
+        # regression: an installed package resolved three dirnames into
+        # site-packages; when that location is missing the cwd's
+        # benchmarks/results must win
+        import repro.experiments as exp
+
+        (tmp_path / "benchmarks" / "results").mkdir(parents=True)
+        monkeypatch.setattr(
+            exp, "__file__",
+            str(tmp_path / "site-packages" / "repro" / "experiments.py"),
+        )
+        monkeypatch.chdir(tmp_path)
+        assert exp.results_dir() == str(tmp_path / "benchmarks" / "results")
+
+    def test_missing_results_dir_explains_locations(self, capsys, tmp_path,
+                                                    monkeypatch):
+        import repro.experiments as exp
+
+        monkeypatch.setattr(
+            exp, "__file__",
+            str(tmp_path / "site-packages" / "repro" / "experiments.py"),
+        )
+        monkeypatch.chdir(tmp_path)
+        assert exp.main(["prog", "e04"]) == 1
+        out = capsys.readouterr().out
+        assert "no benchmarks/results directory found" in out
+        assert str(tmp_path) in out

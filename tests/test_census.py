@@ -1,0 +1,227 @@
+"""The problem-space census: enumeration, canonicalization, parallel
+decision determinism, verdict cross-validation, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.gap.census import (
+    CROSS_CHECKS,
+    CrossCheck,
+    ProblemSpec,
+    VERDICT_GROWTH_AGREEMENT,
+    canonical_encoding,
+    census_json,
+    classify_growth,
+    enumerate_multisets,
+    enumerate_space,
+    main,
+    run_census,
+    space_size,
+    spec_from_problem,
+    spec_name,
+    spec_to_problem,
+)
+from repro.gap.problems import all_equal, edge_2coloring, edge_3coloring, free_labeling
+from repro.lcl.blackwhite import BLACK, WHITE
+
+
+class TestEnumeration:
+    def test_multiset_counts(self):
+        # one input, two outputs, delta 2: 2 singletons + 3 pair multisets
+        assert len(enumerate_multisets(1, 2, 2)) == 5
+        assert len(enumerate_multisets(1, 1, 2)) == 2
+        assert len(enumerate_multisets(2, 2, 2)) == 14
+
+    def test_space_size(self):
+        # (2^2)^2 problems at one output + (2^5)^2 at two
+        assert space_size(1, 2) == 16
+        assert space_size(2, 2) == 16 + 1024
+
+    def test_enumerate_space_covers_and_collapses(self):
+        encodings, orbit, raw = enumerate_space(max_labels=2, delta=2)
+        assert raw == 1040
+        assert sum(orbit.values()) == raw
+        assert len(encodings) == len(set(encodings)) < raw
+        assert encodings == sorted(encodings)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            run_census(max_labels=0)
+        with pytest.raises(ValueError):
+            run_census(delta=1)
+
+
+class TestCanonicalization:
+    def test_output_permutation_invariant(self):
+        # "only label 0 everywhere" vs "only label 1 everywhere"
+        a = ProblemSpec(1, 2, 2, frozenset({(((0, 0),))}),
+                        frozenset({(((0, 0),))}))
+        b = ProblemSpec(1, 2, 2, frozenset({(((0, 1),))}),
+                        frozenset({(((0, 1),))}))
+        assert canonical_encoding(a) == canonical_encoding(b)
+
+    def test_color_swap_invariant(self):
+        w = frozenset({((0, 0),), ((0, 0), (0, 0))})
+        b = frozenset({((0, 1),)})
+        assert canonical_encoding(ProblemSpec(1, 2, 2, w, b)) == \
+            canonical_encoding(ProblemSpec(1, 2, 2, b, w))
+
+    def test_distinct_problems_stay_distinct(self):
+        a = ProblemSpec(1, 2, 2, frozenset({((0, 0),)}), frozenset())
+        b = ProblemSpec(1, 2, 2, frozenset({((0, 0), (0, 1))}), frozenset())
+        assert canonical_encoding(a) != canonical_encoding(b)
+
+    def test_spec_roundtrip(self):
+        spec = ProblemSpec(
+            1, 2, 2,
+            frozenset({((0, 0),), ((0, 0), (0, 1))}),
+            frozenset({((0, 1),)}),
+        )
+        assert spec_from_problem(spec_to_problem(spec), delta=2) == spec
+
+    def test_spec_from_registry_problem(self):
+        spec = spec_from_problem(edge_2coloring(), delta=2)
+        # a proper-edge-coloring node never carries two equal labels
+        assert ((0, 0), (0, 0)) not in spec.white
+        assert ((0, 0), (0, 1)) in spec.white
+        assert spec.white == spec.black
+
+    def test_extensional_problem_rejects_overflow_degree(self):
+        spec = spec_from_problem(free_labeling(), delta=2)
+        problem = spec_to_problem(spec)
+        # a degree-3 multiset is outside the delta=2 universe
+        assert problem.allows(WHITE, [(0, 0), (0, 0)])
+        assert not problem.allows(BLACK, [(0, 0), (0, 0), (0, 0)])
+        assert not problem.allows(WHITE, [])
+
+
+class TestCensusVerdicts:
+    @pytest.fixture(scope="class")
+    def census(self):
+        return run_census(max_labels=2, delta=2, workers=1,
+                          cross_validate=False)
+
+    def test_every_canonical_problem_classified(self, census):
+        assert census["spec"]["raw_problems"] == 1040
+        problems = census["problems"]
+        assert len(problems) == census["spec"]["canonical_problems"]
+        assert all(
+            p["verdict"] in VERDICT_GROWTH_AGREEMENT for p in problems
+        )
+        assert sum(census["summary"]["verdicts"].values()) == len(problems)
+
+    def test_known_problems_get_known_verdicts(self, census):
+        by_key = {p["key"]: p["verdict"] for p in census["problems"]}
+        for factory, expected in (
+            (free_labeling, "O(1)"),
+            (all_equal, "O(1)"),
+            (edge_2coloring, "no-good-function"),
+        ):
+            enc = canonical_encoding(spec_from_problem(factory(), delta=2))
+            assert by_key[spec_name(enc)] == expected
+
+    def test_all_three_regions_inhabited(self, census):
+        counts = census["summary"]["verdicts"]
+        assert set(counts) == {"O(1)", "logstar-regime", "no-good-function"}
+        assert all(v > 0 for v in counts.values())
+
+    def test_region_assignment_present(self, census):
+        regions = census["summary"]["regions"]
+        assert regions["O(1)"][0]["low"] == "1"
+        assert all(r["kind"] != "gap"
+                   for rs in regions.values() for r in rs)
+
+    def test_orbit_sizes_recorded(self, census):
+        assert sum(p["orbit"] for p in census["problems"]) == 1040
+
+
+class TestDeterminism:
+    def test_byte_identical_across_workers(self):
+        kwargs = dict(max_labels=2, delta=2, max_problems=48,
+                      cross_validate=False)
+        serial = census_json(workers=1, **kwargs)
+        parallel = census_json(workers=4, **kwargs)
+        assert serial == parallel
+        payload = json.loads(serial)
+        assert "workers" not in payload["spec"]
+        assert payload["spec"]["truncated"] is True
+        assert len(payload["problems"]) == 48
+
+    def test_edge_3coloring_outside_two_label_bounds(self):
+        enc = canonical_encoding(spec_from_problem(edge_3coloring(), delta=2))
+        encodings, _, _ = enumerate_space(max_labels=2, delta=2)
+        assert enc not in encodings
+
+
+class TestCrossValidation:
+    def test_builtin_checks_agree(self):
+        payload = run_census(max_labels=2, delta=2, workers=1,
+                             cross_validate=True)
+        cross = payload["cross_validation"]
+        # edge-3coloring needs three labels, so exactly three checks apply
+        assert [c["problem"] for c in cross] == \
+            ["free-labeling", "all-equal", "edge-2coloring"]
+        for c in cross:
+            assert c["agrees"], f"{c['problem']}: {c}"
+            assert c["violations"] == 0
+            assert c["growth"] in VERDICT_GROWTH_AGREEMENT[c["verdict"]]
+
+    def test_o1_verdicts_have_flat_witnesses(self):
+        payload = run_census(max_labels=2, delta=2, workers=1,
+                             cross_validate=True)
+        flat = [c for c in payload["cross_validation"]
+                if c["verdict"] == "O(1)"]
+        assert flat and all(c["growth"] == "flat" for c in flat)
+
+    def test_constant_witness_registered_lazily(self):
+        # importing the census must not touch the sweep registry; the
+        # witness appears (idempotently) when cross-validation runs
+        from repro.gap.census import _register_census_algorithms
+        from repro.sweep import ALGORITHMS
+
+        _register_census_algorithms()
+        _register_census_algorithms()
+        assert "constant_labeling_ff" in ALGORITHMS
+
+    def test_classify_growth(self):
+        assert classify_growth([(64, 3.0), (512, 3.5)]) == "flat"
+        assert classify_growth([(64, 16.0), (512, 128.0)]) == "linear"
+        assert classify_growth([(64, 2.0), (512, 7.0)]) == "intermediate"
+        assert classify_growth([(64, 0.0), (512, 0.0)]) == "flat"
+        with pytest.raises(ValueError):
+            classify_growth([(64, 1.0)])
+        with pytest.raises(ValueError):
+            classify_growth([(64, 1.0), (64, 1.0)])
+
+    def test_disagreement_detected(self, monkeypatch):
+        # pair the O(1) free-labeling verdict with a linear-growth witness:
+        # the census must flag the mismatch and the CLI must gate on it
+        import repro.gap.census as census_mod
+
+        bad = (CrossCheck("free-labeling", free_labeling, "two_coloring"),)
+        monkeypatch.setattr(census_mod, "CROSS_CHECKS", bad)
+        payload = run_census(max_labels=2, delta=2, workers=1,
+                             max_problems=None, cross_validate=True)
+        (check,) = payload["cross_validation"]
+        assert check["growth"] == "linear" and not check["agrees"]
+        assert main(["--max-labels", "2", "--out", "/dev/null"]) == 1
+
+
+class TestCLI:
+    def test_writes_json_and_summarizes(self, tmp_path, capsys):
+        out = tmp_path / "census.json"
+        rc = main(["--max-labels", "1", "--no-cross-validate",
+                   "--out", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["spec"]["raw_problems"] == 16
+        err = capsys.readouterr().err
+        assert "canonical" in err
+
+    def test_stdout_mode(self, capsys):
+        rc = main(["--max-labels", "1", "--no-cross-validate"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cross_validation"] == []
+        assert payload["spec"]["cross_validate"] is False

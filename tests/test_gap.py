@@ -120,3 +120,110 @@ class TestDecider:
     def test_verdict_str(self):
         v = decide_node_averaged_class(free_labeling())
         assert "O(1)" in str(v)
+
+
+#: pinned Theorem-7 verdicts for the registry problems — the O(1)
+#: witnesses, the logstar-regime witness and the no-good-function witness
+VERDICT_SNAPSHOTS = {
+    "free-labeling": (
+        "O(1)", "constant-good function found; node-averaged O(1)"),
+    "all-equal": (
+        "O(1)", "constant-good function found; node-averaged O(1)"),
+    "edge-3coloring": (
+        "logstar-regime",
+        "good function exists but none constant-good: complexity is "
+        "(log* n)^{Omega(1)} and O(log* n) node-averaged "
+        "(Theorem 7 gap: nothing lives in omega(1)..(log* n)^{o(1)})"),
+    "edge-2coloring": (
+        "no-good-function",
+        "no good f_{Pi,infinity}: outside the log* regime (polynomial or "
+        "unsolvable)"),
+}
+
+_REGISTRY = (free_labeling, all_equal, edge_3coloring, edge_2coloring)
+
+
+class TestDeciderSnapshots:
+    def test_registry_verdict_snapshots(self):
+        for factory in _REGISTRY:
+            v = decide_node_averaged_class(factory())
+            klass, detail = VERDICT_SNAPSHOTS[v.problem]
+            assert (v.klass, v.detail) == (klass, detail)
+
+    def test_witness_presence_matches_klass(self):
+        for factory in _REGISTRY:
+            v = decide_node_averaged_class(factory())
+            assert (v.witness is not None) == (v.klass != "no-good-function")
+
+
+class TestDeciderMemoization:
+    def test_verdicts_identical_with_and_without_cache(self):
+        # the GapCache may only change the work done, never the verdict
+        for factory in _REGISTRY:
+            memo = decide_node_averaged_class(factory(), memoize=True)
+            cold = decide_node_averaged_class(factory(), memoize=False)
+            assert (memo.problem, memo.klass, memo.detail) == \
+                (cold.problem, cold.klass, cold.detail)
+            if memo.witness is None:
+                assert cold.witness is None
+            else:
+                assert memo.witness.choices == cold.witness.choices
+
+    def test_census_space_verdicts_identical(self):
+        # same equivalence over (a slice of) the enumerated census space
+        from repro.gap.census import _decode, enumerate_space, spec_to_problem
+
+        encodings, _, _ = enumerate_space(max_labels=2, delta=2)
+        for enc in encodings[::7]:
+            memo = decide_node_averaged_class(
+                spec_to_problem(_decode(enc)), memoize=True)
+            cold = decide_node_averaged_class(
+                spec_to_problem(_decode(enc)), memoize=False)
+            assert (memo.klass, memo.detail) == (cold.klass, cold.detail)
+
+    def test_find_good_function_accepts_shared_cache(self):
+        from repro.gap import GapCache
+
+        problem = edge_3coloring()
+        cache = GapCache(problem)
+        got = find_good_function(problem, cache=cache)
+        again = find_good_function(problem, cache=cache)
+        assert got is not None and again is not None
+        assert got[0].choices == again[0].choices
+        assert cache.rake  # the shared closure memo actually filled
+
+    def test_testing_procedure_budget_respected_with_cache(self):
+        # budget accounting counts enumerated combinations even when the
+        # cache skips the enumeration — exhaustion must be identical
+        from repro.gap import GapCache, RectangleChooser
+        from repro.gap.testing import run_testing_procedure
+
+        from repro.gap.testing import UnseenRelation
+
+        problem = free_labeling()
+        for memoize in (True, False):
+            cache = GapCache(problem, memoize=memoize)
+            # warm the cache (the empty chooser stops at the first
+            # compress relation, after the rake closure is computed)
+            with pytest.raises(UnseenRelation):
+                run_testing_procedure(
+                    problem, RectangleChooser({}), cache=cache)
+            # rerun with a budget that cannot cover even that first rake
+            # closure: cached and uncached runs must starve identically
+            starved = run_testing_procedure(
+                problem, RectangleChooser({}), combo_budget=3, cache=cache)
+            assert starved.reason == "combination budget exceeded"
+            assert not starved.good
+
+    def test_truncated_rake_closure_not_cached(self):
+        # the budget aborts the closure mid-enumeration; the partial
+        # result must never enter the shared memo
+        from repro.gap import GapCache, RectangleChooser
+        from repro.gap.testing import run_testing_procedure
+
+        problem = free_labeling()
+        cache = GapCache(problem)
+        starved = run_testing_procedure(
+            problem, RectangleChooser({}), combo_budget=3, cache=cache)
+        assert starved.reason == "combination budget exceeded"
+        assert cache.rake == {}

@@ -58,6 +58,23 @@ class TestAlphaFormulas:
         if x + eps <= 1:
             assert alpha1_poly(x, k) <= alpha1_poly(x + eps, k) + 1e-12
 
+    def test_alpha_vector_k1_is_empty(self):
+        # regression: the docs promise (alpha_1, ..., alpha_{k-1}) but
+        # k=1 used to return a one-element vector
+        for x in (0.0, 0.5, 1.0):
+            assert alpha_vector_poly(x, 1) == []
+            assert alpha_vector_logstar(x, 1) == []
+
+    def test_alpha_vector_k2_is_alpha1(self):
+        for x in (0.0, 0.4, 1.0):
+            assert alpha_vector_poly(x, 2) == [alpha1_poly(x, 2)]
+            assert alpha_vector_logstar(x, 2) == [alpha1_logstar(x, 2)]
+
+    def test_alpha_vector_length_is_k_minus_1(self):
+        for k in range(1, 7):
+            assert len(alpha_vector_poly(0.3, k)) == k - 1
+            assert len(alpha_vector_logstar(0.3, k)) == k - 1
+
     def test_alpha_vector_recurrence(self):
         # Lemma 33: alpha_i = (2 - x) alpha_{i-1}
         x = 0.4
@@ -136,6 +153,20 @@ class TestLandscapeRegions:
 
     def test_before_smaller(self):
         assert len(landscape_regions(after=False)) < len(landscape_regions(True))
+
+    def test_regions_for_verdict(self):
+        from repro.analysis import regions_for_verdict
+
+        o1 = regions_for_verdict("O(1)")
+        assert [r.kind for r in o1] == ["point"] and o1[0].low == "1"
+        logstar = regions_for_verdict("logstar-regime")
+        assert {r.kind for r in logstar} == {"dense", "point"}
+        assert any(r.low == "log* n" for r in logstar)
+        beyond = regions_for_verdict("no-good-function")
+        assert all(r.kind != "gap" for r in beyond)
+        assert any(r.low == "n" for r in beyond)
+        with pytest.raises(ValueError):
+            regions_for_verdict("nonsense")
 
 
 class TestMathUtil:

@@ -187,6 +187,38 @@ class TestValidity:
         assert rc == 0
         assert "declare no LCL" in capsys.readouterr().err
 
+    def test_cli_forwards_check_flag_on(self, capsys):
+        # regression: main() used to drop args.check, so the runner always
+        # verified; with the flag the payload must record check: true and
+        # carry validity counts
+        rc = main(["--family", "path", "--sizes", "9", "--samples", "1",
+                   "--instances", "1", "--check"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["check"] is True
+        assert payload["cells"][0]["validity"] == \
+            {"valid": 1, "violations": 0}
+
+    def test_cli_without_check_skips_verification(self, capsys):
+        # regression: without --check the sweep must not pay verification
+        # cost — spec.check records false and every cell reports null
+        rc = main(["--family", "path", "--sizes", "9", "--samples", "1",
+                   "--instances", "1"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["check"] is False
+        assert all(c["validity"] is None for c in payload["cells"])
+
+    def test_cli_without_check_ignores_violations(self, capsys):
+        # a violating algorithm must not fail the run when --check is off
+        name = _register_bad_coloring("bad_constant_coloring")
+        rc = main(["--family", "random_tree", "--sizes", "12",
+                   "--samples", "1", "--instances", "1",
+                   "--algorithms", name])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cells"][0]["validity"] is None
+
 
 class TestCLI:
     def test_writes_json_file(self, tmp_path, capsys):
