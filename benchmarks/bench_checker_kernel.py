@@ -28,9 +28,9 @@ from harness import record_table, timed
 
 def best_of(repeats, fn, *args):
     """Best-of-N wall clock — damps scheduler noise around the gates."""
-    result, wall = timed(fn, *args)
+    result, wall, _ = timed(fn, *args)
     for _ in range(repeats - 1):
-        result, w = timed(fn, *args)
+        result, w, _ = timed(fn, *args)
         wall = min(wall, w)
     return result, wall
 

@@ -47,7 +47,9 @@ def test_e04_thm2(benchmark):
         x = efficiency_factor(delta, d)
         a1 = alpha1_poly(x, k)
         ns, avgs, adjs = [], [], []
-        for n_target in geometric_range(4_000, 120_000, 5):
+        # top size reaches the million-node scale the shared-memory
+        # substrate and array solvers target
+        for n_target in geometric_range(4_000, 1_000_000, 6):
             n, avg, adj = run_point(n_target, delta, d, k)
             ns.append(n)
             avgs.append(avg)

@@ -47,7 +47,7 @@ def test_e05_thm5(benchmark):
     x = efficiency_factor(delta, d)
     xp = efficiency_factor_relaxed(delta, d)
     rows, fast_avgs, base_avgs = [], [], []
-    for n_target in (2_000, 16_000, 128_000):
+    for n_target in (2_000, 16_000, 128_000, 1_000_000):
         n, avg, worst = run_point(n_target, fast=True)
         _, base_avg, _ = run_point(n_target, fast=False)
         ls = max(2, log_star(n))

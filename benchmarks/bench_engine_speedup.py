@@ -31,7 +31,8 @@ def test_engine_speedup(benchmark):
     ids = random_ids(N, rng=random.Random(0))
     traces = {"incremental": benchmark(run_engine, "incremental", ids)}
     wall = {"incremental": benchmark.stats.stats.mean}
-    traces["reference"], wall["reference"] = timed(run_engine, "reference", ids)
+    traces["reference"], wall["reference"], peak_mib = timed(
+        run_engine, "reference", ids)
 
     rows = [
         (engine, N, traces[engine].worst_case(),
@@ -44,7 +45,8 @@ def test_engine_speedup(benchmark):
         "Engine speedup: Cole-Vishkin 3-coloring on path_graph(2000)",
         ["engine", "n", "worst", "avg", "wall_s"],
         rows,
-        notes=[f"speedup: {speedup:.1f}x (reference / incremental)"],
+        notes=[f"speedup: {speedup:.1f}x (reference / incremental); "
+               f"peak RSS {peak_mib:.0f} MiB"],
     )
 
     assert traces["incremental"].rounds == traces["reference"].rounds

@@ -39,8 +39,8 @@ def run_sweep(workers: int) -> str:
 
 def test_sweep_parallel_speedup():
     cores = _usable_cores()
-    json_serial, wall_serial = timed(run_sweep, 1)
-    json_parallel, wall_parallel = timed(run_sweep, 4)
+    json_serial, wall_serial, _ = timed(run_sweep, 1)
+    json_parallel, wall_parallel, peak_mib = timed(run_sweep, 4)
     speedup = wall_serial / wall_parallel
 
     record_table(
@@ -53,7 +53,8 @@ def test_sweep_parallel_speedup():
         ],
         notes=[
             f"usable cores: {cores}; byte-identical aggregates: "
-            f"{json_serial == json_parallel}",
+            f"{json_serial == json_parallel}; "
+            f"peak RSS {peak_mib:.0f} MiB (parent+workers)",
             f"speedup gate (>= {MIN_SPEEDUP}x) "
             + ("enforced" if cores >= 4 else "skipped: fewer than 4 cores"),
         ],

@@ -20,12 +20,18 @@ import os
 import time
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 __all__ = [
     "record_table",
     "format_table",
     "timed",
+    "peak_rss_mib",
     "dfree_overhead",
     "adjusted_average",
 ]
@@ -67,11 +73,28 @@ def record_table(
     return text
 
 
-def timed(fn: Callable, *args, **kwargs) -> Tuple[object, float]:
-    """Run ``fn(*args, **kwargs)`` returning ``(result, wall_seconds)``."""
+def peak_rss_mib() -> float:
+    """Peak resident set size of this process (and any reaped workers) in
+    MiB; 0.0 where ``resource`` is unavailable.  The kernel's high-water
+    mark never decreases, so per-row values in a bench are cumulative
+    maxima — order rows smallest-first to see each scale's footprint."""
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0.0
+    peak = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    return peak / 1024.0  # ru_maxrss is KiB on Linux
+
+
+def timed(fn: Callable, *args, **kwargs) -> Tuple[object, float, float]:
+    """Run ``fn(*args, **kwargs)`` returning ``(result, wall_seconds,
+    peak_rss_mib)`` — the third column is the process high-water RSS
+    after the call (see :func:`peak_rss_mib` for the monotonicity
+    caveat), so million-node rows report their memory footprint."""
     start = time.perf_counter()
     result = fn(*args, **kwargs)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, peak_rss_mib()
 
 
 def dfree_overhead(n: int, d: int) -> int:

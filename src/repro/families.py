@@ -60,6 +60,7 @@ __all__ = [
     "spider_tree",
     "random_regular",
     "hypercube_graph",
+    "weighted_construction_graph",
 ]
 
 
@@ -281,6 +282,47 @@ def _build_hypercube(n: int, rng: random.Random) -> Graph:
 
 
 # ----------------------------------------------------------------------
+# paper constructions as families (deterministic: one instance per size)
+# ----------------------------------------------------------------------
+def weighted_construction_graph(
+    n: int, delta: int, d: int, k: int, regime: str
+) -> Graph:
+    """The Theorem-2/5 weighted lower-bound construction at target size
+    ``n``, with the exponent vector the benchmarks use for the regime
+    (``alpha_vector_poly`` for ``'poly'``, ``alpha_vector_logstar`` for
+    ``'logstar'``).  The built size tracks, but need not equal, ``n`` —
+    the grid-family convention."""
+    from .analysis import (
+        alpha_vector_logstar,
+        alpha_vector_poly,
+        efficiency_factor_relaxed,
+    )
+    from .constructions import build_weighted_construction
+    from .constructions.lowerbound import paper_lengths
+
+    per_level = max(4, n // k)
+    if regime == "poly":
+        x = math.log(delta - d + 1) / math.log(delta - 1)
+        lengths = paper_lengths(per_level, alpha_vector_poly(x, k))
+    else:
+        xp = efficiency_factor_relaxed(delta, d)
+        lengths = paper_lengths(
+            per_level, alpha_vector_logstar(xp, k), "logstar"
+        )
+    return build_weighted_construction(
+        lengths, delta, weight_per_level=per_level
+    ).graph
+
+
+def _build_weighted25_d5k2(n: int, rng: random.Random) -> Graph:
+    return weighted_construction_graph(n, delta=5, d=2, k=2, regime="poly")
+
+
+def _build_weighted35_d6k2(n: int, rng: random.Random) -> Graph:
+    return weighted_construction_graph(n, delta=6, d=3, k=2, regime="logstar")
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 FAMILIES: Dict[str, Family] = {}
@@ -379,6 +421,12 @@ for _family in (
            description="most-square grid with <= n nodes"),
     Family("hypercube", _build_hypercube, degree_bound=None,
            description="largest hypercube with <= n nodes"),
+    Family("weighted25_d5k2", _build_weighted25_d5k2, degree_bound=None,
+           description="Theorem-2 weighted construction, Pi^{2.5} at "
+           "(delta, d, k) = (5, 2, 2), poly regime"),
+    Family("weighted35_d6k2", _build_weighted35_d6k2, degree_bound=None,
+           description="Theorem-5 weighted construction, Pi^{3.5} at "
+           "(delta, d, k) = (6, 3, 2), log* regime"),
     _RANDOM_TREE,
     _BOUNDED_TREE,
     _CATERPILLAR,

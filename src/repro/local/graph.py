@@ -30,6 +30,11 @@ from __future__ import annotations
 from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+try:  # numpy accelerates construction; every path has a pure-Python twin
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is part of the baked image
+    _np = None
+
 __all__ = [
     "Graph",
     "path_graph",
@@ -45,6 +50,69 @@ __all__ = [
 #: array typecode for CSR arrays — signed 64-bit so node counts are never
 #: a constraint in practice.
 _CSR_TYPECODE = "q"
+
+#: below this edge count the per-edge Python build is faster than paying
+#: numpy's fixed costs — and it is also the differential oracle the
+#: vectorized path is pinned against in the tests.
+_VECTOR_MIN_EDGES = 256
+
+
+def _validate_edge_arrays(n: int, eu, ev) -> None:
+    """Vectorized twin of the per-edge validation loop.
+
+    Raises exactly the error the sequential loop would raise first: for
+    each failure category the first offending edge index is computed, and
+    the earliest index wins (with the loop's range -> self-loop ->
+    duplicate priority on ties, since the loop checks a single edge in
+    that order).
+    """
+    first: List[Tuple[int, int, ValueError]] = []
+    bad = (eu < 0) | (eu >= n) | (ev < 0) | (ev >= n)
+    if bad.any():
+        k = int(_np.argmax(bad))
+        first.append((k, 0, ValueError(
+            f"edge ({int(eu[k])},{int(ev[k])}) out of range for n={n}")))
+    loops = eu == ev
+    if loops.any():
+        k = int(_np.argmax(loops))
+        first.append((k, 1, ValueError(f"self-loop at {int(eu[k])}")))
+    lo = _np.minimum(eu, ev)
+    hi = _np.maximum(eu, ev)
+    # for in-range endpoints the packed key is collision-free; any packed
+    # collision involving out-of-range garbage is masked by the range
+    # error, whose edge index is necessarily no later
+    key = lo * _np.int64(max(n, 1) + 1) + hi
+    order = _np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    dup_pos = _np.nonzero(sorted_key[1:] == sorted_key[:-1])[0]
+    if dup_pos.size:
+        k = int(order[dup_pos + 1].min())
+        first.append((k, 2, ValueError(
+            f"duplicate edge {(int(lo[k]), int(hi[k]))}")))
+    if first:
+        first.sort(key=lambda item: (item[0], item[1]))
+        raise first[0][2]
+
+
+def _csr_from_edge_arrays(n: int, eu, ev) -> Tuple["array", "array"]:
+    """CSR fill from endpoint arrays, preserving edge-insertion neighbour
+    order (each edge ``k`` contributes ``u->v`` before ``v->u``, exactly
+    like the sequential cursor fill)."""
+    m = int(eu.shape[0])
+    src = _np.empty(2 * m, dtype=_np.int64)
+    dst = _np.empty(2 * m, dtype=_np.int64)
+    src[0::2] = eu
+    src[1::2] = ev
+    dst[0::2] = ev
+    dst[1::2] = eu
+    order = _np.argsort(src, kind="stable")
+    indptr_np = _np.zeros(n + 1, dtype=_np.int64)
+    _np.cumsum(_np.bincount(src, minlength=n), out=indptr_np[1:])
+    indptr = array(_CSR_TYPECODE)
+    indptr.frombytes(indptr_np.tobytes())
+    indices = array(_CSR_TYPECODE)
+    indices.frombytes(dst[order].tobytes())
+    return indptr, indices
 
 
 class Graph:
@@ -71,6 +139,12 @@ class Graph:
     ) -> None:
         if n < 0:
             raise ValueError("n must be non-negative")
+        if not isinstance(edges, (list, tuple)):
+            edges = list(edges)
+        if _np is not None and len(edges) >= _VECTOR_MIN_EDGES:
+            pairs = _np.asarray(edges, dtype=_np.int64)
+            self._init_from_arrays(n, pairs[:, 0], pairs[:, 1], inputs)
+            return
         edge_list: List[Tuple[int, int]] = []
         seen = set()
         degree = [0] * n
@@ -102,12 +176,97 @@ class Graph:
         self._m = len(edge_list)
         self._indptr = indptr
         self._indices = indices
+        self._inputs = self._coerce_inputs(n, inputs)
+
+    def _init_from_arrays(self, n: int, eu, ev, inputs: Optional[Sequence]) -> None:
+        _validate_edge_arrays(n, eu, ev)
+        self._indptr, self._indices = _csr_from_edge_arrays(n, eu, ev)
+        self._n = n
+        self._m = int(eu.shape[0])
+        self._inputs = self._coerce_inputs(n, inputs)
+
+    @staticmethod
+    def _coerce_inputs(n: int, inputs: Optional[Sequence]) -> List:
         if inputs is None:
-            self._inputs = [None] * n
-        else:
+            return [None] * n
+        if len(inputs) != n:
+            raise ValueError("inputs length must equal n")
+        return list(inputs)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n: int,
+        edge_u,
+        edge_v,
+        inputs: Optional[Sequence] = None,
+        validate: bool = True,
+    ) -> "Graph":
+        """Vectorized constructor from flat endpoint arrays.
+
+        Produces exactly the same graph as
+        ``Graph(n, zip(edge_u, edge_v), inputs)`` — same CSR layout, same
+        neighbour order, same validation errors — but in O(m log m) numpy
+        time instead of per-edge Python, which is what makes building
+        n=10^6 instances cheap.  ``validate=False`` skips the
+        duplicate/range scan for trusted deterministic builders.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if _np is None:  # pragma: no cover - numpy is part of the image
+            return cls(n, list(zip(edge_u, edge_v)), inputs)
+        eu = _np.ascontiguousarray(edge_u, dtype=_np.int64).ravel()
+        ev = _np.ascontiguousarray(edge_v, dtype=_np.int64).ravel()
+        if eu.shape[0] != ev.shape[0]:
+            raise ValueError("edge endpoint arrays must have equal length")
+        if validate:
+            _validate_edge_arrays(n, eu, ev)
+        g = object.__new__(cls)
+        g._indptr, g._indices = _csr_from_edge_arrays(n, eu, ev)
+        g._n = n
+        g._m = int(eu.shape[0])
+        g._inputs = cls._coerce_inputs(n, inputs)
+        return g
+
+    @classmethod
+    def from_csr_buffers(
+        cls,
+        n: int,
+        m: int,
+        indptr_buf,
+        indices_buf,
+        inputs: Optional[Sequence] = None,
+        copy_inputs: bool = True,
+    ) -> "Graph":
+        """Zero-copy attach to externally owned CSR buffers.
+
+        ``indptr_buf``/``indices_buf`` are buffer objects (e.g. slices of
+        a ``multiprocessing.shared_memory`` block) holding ``n + 1`` and
+        ``2 * m`` native int64 values.  The graph aliases them through
+        ``memoryview.cast("q")`` — indexing still yields plain Python
+        ints, so downstream consumers cannot tell the difference from the
+        ``array('q')`` backing — and the caller keeps ownership: the
+        buffers must outlive the graph.  ``copy_inputs=False`` stores the
+        ``inputs`` sequence by reference (it must be immutable and
+        support ``len``/indexing), which lets shared-memory attaches skip
+        materializing n-element label lists.
+        """
+        indptr = memoryview(indptr_buf).cast(_CSR_TYPECODE)
+        indices = memoryview(indices_buf).cast(_CSR_TYPECODE)
+        if len(indptr) != n + 1 or len(indices) != 2 * m:
+            raise ValueError("CSR buffer sizes do not match (n, m)")
+        g = object.__new__(cls)
+        g._n = n
+        g._m = m
+        g._indptr = indptr
+        g._indices = indices
+        if inputs is not None and not copy_inputs:
             if len(inputs) != n:
                 raise ValueError("inputs length must equal n")
-            self._inputs = list(inputs)
+            g._inputs = inputs
+        else:
+            g._inputs = cls._coerce_inputs(n, inputs)
+        return g
 
     @classmethod
     def _from_csr(
@@ -314,11 +473,20 @@ class Graph:
 # ----------------------------------------------------------------------
 def path_graph(n: int, inputs: Optional[Sequence] = None) -> Graph:
     """A path on ``n`` nodes: 0 - 1 - ... - (n-1)."""
+    if _np is not None and n >= 2:
+        heads = _np.arange(n - 1, dtype=_np.int64)
+        return Graph.from_arrays(n, heads, heads + 1, inputs, validate=False)
     return Graph(n, [(i, i + 1) for i in range(n - 1)], inputs)
 
 
 def star_graph(leaves: int) -> Graph:
     """A star: node 0 is the centre, nodes 1..leaves are leaves."""
+    if _np is not None and leaves >= 1:
+        spokes = _np.arange(1, leaves + 1, dtype=_np.int64)
+        return Graph.from_arrays(
+            leaves + 1, _np.zeros(leaves, dtype=_np.int64), spokes,
+            validate=False,
+        )
     return Graph(leaves + 1, [(0, i) for i in range(1, leaves + 1)])
 
 
@@ -326,6 +494,10 @@ def cycle_graph(n: int, inputs: Optional[Sequence] = None) -> Graph:
     """A cycle on ``n >= 3`` nodes: 0 - 1 - ... - (n-1) - 0."""
     if n < 3:
         raise ValueError("a cycle needs at least 3 nodes")
+    if _np is not None:
+        heads = _np.arange(n, dtype=_np.int64)
+        return Graph.from_arrays(n, heads, (heads + 1) % n, inputs,
+                                 validate=False)
     edges = [(i, i + 1) for i in range(n - 1)] + [(n - 1, 0)]
     return Graph(n, edges, inputs)
 
@@ -334,6 +506,19 @@ def grid_graph(rows: int, cols: int) -> Graph:
     """A ``rows x cols`` grid; node ``(r, c)`` has handle ``r * cols + c``."""
     if rows < 1 or cols < 1:
         raise ValueError("grid dimensions must be positive")
+    if _np is not None:
+        v_all = _np.arange(rows * cols, dtype=_np.int64)
+        right = v_all[v_all % cols != cols - 1]
+        down = v_all[v_all < (rows - 1) * cols]
+        # the loop build emits, per node in row-major order, its right
+        # edge then its down edge — replay that order via a stable sort
+        # on (node, kind) so neighbour order stays byte-identical
+        order = _np.argsort(
+            _np.concatenate((2 * right, 2 * down + 1)), kind="stable"
+        )
+        us = _np.concatenate((right, down))[order]
+        vs = _np.concatenate((right + 1, down + cols))[order]
+        return Graph.from_arrays(rows * cols, us, vs, validate=False)
     edges = []
     for r in range(rows):
         for c in range(cols):
@@ -368,6 +553,14 @@ def balanced_tree(fanout: int, height: int) -> Graph:
     """
     if fanout < 1:
         raise ValueError("fanout must be >= 1")
+    total = sum(fanout ** d for d in range(height + 1))
+    if _np is not None and total >= 2:
+        # handles are assigned in BFS order, so node k >= 1 hangs off
+        # parent (k - 1) // fanout and the loop emits edges in child order
+        children = _np.arange(1, total, dtype=_np.int64)
+        return Graph.from_arrays(
+            total, (children - 1) // fanout, children, validate=False
+        )
     edges = []
     frontier = [0]
     next_handle = 1

@@ -1,0 +1,145 @@
+"""Shared numpy sweeps over CSR graphs for the array-form solver ports.
+
+The centralized solvers (levels, generic phases, rake-and-compress, the
+oriented fast decomposition) all iterate the same three primitives:
+count neighbours inside a node subset, expand a node subset to its
+incident directed edges, and trace the maximal paths induced by a subset
+whose induced degree is at most 2.  This module provides those primitives
+as flat numpy passes over the graph's CSR arrays so the solvers scale to
+``n = 10^6`` — each caller keeps its per-node Python twin as the
+differential oracle (and as the fallback when numpy is unavailable).
+
+Dispatch convention: a caller uses the vector path when
+``HAVE_NUMPY and n >= VEC_MIN_NODES`` — reference ``vec.VEC_MIN_NODES``
+through the module (not a ``from``-import) so tests can pin it to 0 and
+force the vector path onto the small differential corpus.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+try:  # pragma: no cover - exercised by presence/absence of numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is part of the toolchain
+    np = None
+
+from .graph import Graph
+
+__all__ = [
+    "HAVE_NUMPY",
+    "VEC_MIN_NODES",
+    "csr_arrays",
+    "expand_segments",
+    "induced_degrees",
+    "member_paths",
+]
+
+HAVE_NUMPY = np is not None
+
+#: below this node count the per-node Python paths win on constant factors
+VEC_MIN_NODES = 256
+
+
+def use_vector_path(n: int) -> bool:
+    """The dispatch predicate every ported solver shares."""
+    return HAVE_NUMPY and n >= VEC_MIN_NODES
+
+
+def csr_arrays(graph: Graph):
+    """The graph's CSR pair as zero-copy int64 numpy views."""
+    indptr, indices = graph.adjacency()
+    return (
+        np.frombuffer(indptr, dtype=np.int64),
+        np.frombuffer(indices, dtype=np.int64),
+    )
+
+
+def expand_segments(indptr, indices, nodes):
+    """All directed edges out of ``nodes``: ``(src, nbr)`` arrays with
+    ``src`` repeated per degree and neighbours in CSR order."""
+    lens = indptr[nodes + 1] - indptr[nodes]
+    total = int(lens.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    shift = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    gather = np.arange(total, dtype=np.int64) + np.repeat(
+        indptr[nodes] - shift, lens
+    )
+    return np.repeat(nodes, lens), indices[gather]
+
+
+def induced_degrees(indptr, indices, member):
+    """Per-node count of neighbours inside the boolean ``member`` mask
+    (defined for every node, members or not), via one cumsum difference."""
+    counts = np.zeros(len(indices) + 1, dtype=np.int64)
+    np.cumsum(member[indices], out=counts[1:])
+    return counts[indptr[1:]] - counts[indptr[:-1]]
+
+
+def _walk(v: int, prev: int, nb1: List[int], nb2: List[int]) -> List[int]:
+    """Follow the path from ``v`` away from ``prev`` to its end."""
+    out = [v]
+    cur, pr = v, prev
+    while True:
+        a = nb1[cur]
+        nxt = a if a != pr else nb2[cur]
+        if nxt == -1:
+            break
+        out.append(nxt)
+        pr = cur
+        cur = nxt
+    return out
+
+
+def member_paths(graph: Graph, member) -> List[List[int]]:
+    """Maximal paths induced by the boolean ``member`` mask.
+
+    Components are returned in ascending order of their smallest member;
+    each path is ordered from its smaller endpoint — exactly the
+    convention of the per-node tracers in :mod:`repro.lcl.levels`,
+    :mod:`repro.algorithms.generic_phases` and
+    :mod:`repro.algorithms.rake_compress`.  Raises ``ValueError`` when a
+    member has more than two member neighbours (the component is not a
+    path); cycles cannot occur on the forest inputs the callers pass.
+    """
+    indptr, indices = csr_arrays(graph)
+    nodes = np.nonzero(member)[0]
+    if nodes.size == 0:
+        return []
+    src, nbr = expand_segments(indptr, indices, nodes)
+    keep = member[nbr]
+    src, nbr = src[keep], nbr[keep]
+    counts = np.bincount(src, minlength=graph.n)[nodes]
+    if counts.size and int(counts.max()) > 2:
+        raise ValueError("member component is not a path")
+    nb = np.full((graph.n, 2), -1, dtype=np.int64)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    within = np.arange(src.size, dtype=np.int64) - np.repeat(starts, counts)
+    nb[src, within] = nbr
+    nb1 = nb[:, 0].tolist()
+    nb2 = nb[:, 1].tolist()
+
+    seen = bytearray(graph.n)
+    paths: List[List[int]] = []
+    for v in nodes.tolist():
+        if seen[v]:
+            continue
+        a, b = nb1[v], nb2[v]
+        if a == -1:
+            order = [v]
+        elif b == -1:
+            walk = _walk(v, -1, nb1, nb2)
+            order = walk if v <= walk[-1] else walk[::-1]
+        else:
+            walk_a = _walk(v, b, nb1, nb2)
+            walk_b = _walk(v, a, nb1, nb2)
+            if walk_a[-1] <= walk_b[-1]:
+                order = walk_a[::-1] + walk_b[1:]
+            else:
+                order = walk_b[::-1] + walk_a[1:]
+        for u in order:
+            seen[u] = 1
+        paths.append(order)
+    return paths

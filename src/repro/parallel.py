@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 __all__ = ["stable_seed", "stable_digest", "fork_map"]
 
@@ -55,18 +55,32 @@ def fork_map(
     tasks: Sequence[_T],
     workers: int,
     chunk_denominator: int = 4,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[object, ...] = (),
 ) -> List[_R]:
     """Map ``fn`` over ``tasks`` preserving task order.
 
-    ``workers=1`` (or a single task) runs in-process.  Otherwise the tasks
+    ``workers=1`` (or a single task) runs in-process — multiprocessing is
+    never imported into the execution path, no pool is created, and the
+    ``initializer`` (if any) runs once in the calling process so the
+    executor-local state it sets up (e.g. shared-memory graph attachments)
+    is visible exactly as it would be in a worker.  Otherwise the tasks
     fan over a fork-context pool — ``pool.map``, never ``imap_unordered``,
     because deterministic aggregates require results in task order.  Fork
     workers inherit the parent's registries, so dynamically registered
     families/algorithms/problems stay resolvable by name.
+
+    ``tasks`` is handed to ``pool.map`` as-is when it is already a
+    ``list``/``tuple`` (no defensive copy); other iterables are
+    materialized once.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if not isinstance(tasks, (list, tuple)):
+        tasks = list(tasks)
     if workers == 1 or len(tasks) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(t) for t in tasks]
     try:
         ctx = multiprocessing.get_context("fork")
@@ -81,5 +95,7 @@ def fork_map(
         )
     processes = min(workers, len(tasks))
     chunksize = max(1, len(tasks) // (processes * chunk_denominator))
-    with ctx.Pool(processes=processes) as pool:
-        return pool.map(fn, list(tasks), chunksize=chunksize)
+    with ctx.Pool(
+        processes=processes, initializer=initializer, initargs=initargs
+    ) as pool:
+        return pool.map(fn, tasks, chunksize=chunksize)

@@ -61,7 +61,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .families import FAMILIES, Family, get_family, register_family
-from .parallel import fork_map, stable_seed
+from .parallel import fork_map, stable_digest, stable_seed
+from .shm import SharedGraphPool, shared_graph, worker_attach_specs
 from .local.graph import Graph
 from .local.ids import ID_MODES, id_space_size, make_ids
 from .local.metrics import ExecutionTrace
@@ -191,6 +192,40 @@ def _cv3_path_fast_forward(graph: Graph, ids: List[int]) -> ExecutionTrace:
                           algorithm="cole-vishkin-3coloring-ff")
 
 
+def _weighted_problem(variant: str, delta: int, d: int, k: int):
+    def make(n: int):
+        from .lcl import Weighted25, Weighted35
+
+        cls = Weighted25 if variant == "2.5" else Weighted35
+        return cls(delta, d, k)
+
+    return make
+
+
+def _weighted25_fast_forward(graph: Graph, ids: List[int]) -> ExecutionTrace:
+    from .algorithms import run_apoly
+
+    return run_apoly(graph, list(ids), 5, 2, 2)
+
+
+def _weighted35_fast_forward(graph: Graph, ids: List[int]) -> ExecutionTrace:
+    from .algorithms import run_weighted35
+
+    return run_weighted35(graph, list(ids), 6, 3, 2)
+
+
+def _make_weighted25_replay(n: int):
+    from .algorithms import replay_apoly
+
+    return replay_apoly(5, 2, 2)
+
+
+def _make_weighted35_replay(n: int):
+    from .algorithms import replay_weighted35
+
+    return replay_weighted35(6, 3, 2)
+
+
 for _spec in (
     AlgorithmSpec("two_coloring", factory=_make_two_coloring,
                   problem=_proper_coloring_problem(2),
@@ -209,6 +244,22 @@ for _spec in (
     AlgorithmSpec("cv3_path_ff", fast_forward=_cv3_path_fast_forward,
                   problem=_proper_coloring_problem(3),
                   description="fast-forward Cole-Vishkin on canonical paths"),
+    AlgorithmSpec("weighted25_ff", fast_forward=_weighted25_fast_forward,
+                  problem=_weighted_problem("2.5", 5, 2, 2),
+                  description="Theorem 2 (E4): Pi^{2.5} solver at "
+                  "(5, 2, 2), centralized fast-forward"),
+    AlgorithmSpec("weighted25_replay", factory=_make_weighted25_replay,
+                  problem=_weighted_problem("2.5", 5, 2, 2),
+                  description="Theorem 2 (E4) solver replayed through the "
+                  "batched engine (engine-contract bookkeeping on)"),
+    AlgorithmSpec("weighted35_ff", fast_forward=_weighted35_fast_forward,
+                  problem=_weighted_problem("3.5", 6, 3, 2),
+                  description="Theorem 5 (E5): Pi^{3.5} solver at "
+                  "(6, 3, 2), centralized fast-forward"),
+    AlgorithmSpec("weighted35_replay", factory=_make_weighted35_replay,
+                  problem=_weighted_problem("3.5", 6, 3, 2),
+                  description="Theorem 5 (E5) solver replayed through the "
+                  "batched engine (engine-contract bookkeeping on)"),
 ):
     register_algorithm(_spec)
 del _spec
@@ -228,6 +279,12 @@ class _Task:
     engine: str
     id_mode: str
     check: bool
+    # zero-copy substrate: the instance's SharedGraphPool key (None on the
+    # rebuild path) and the first ID-sample this task covers — shared
+    # graphs make per-sample tasks cheap, so sweeps with few cells can
+    # still fan out across samples
+    graph_key: Optional[str] = None
+    sample_base: int = 0
 
 
 def _sample_seed(family: str, n: int, seed: int, index: int, sample: int) -> int:
@@ -236,18 +293,36 @@ def _sample_seed(family: str, n: int, seed: int, index: int, sample: int) -> int
     return stable_seed("ids", family, n, seed, index, sample)
 
 
+def _sample_chunks(samples: int, parts: int) -> Tuple[Tuple[int, int], ...]:
+    """Split ``range(samples)`` into ``parts`` contiguous ``(base, count)``
+    ranges (first chunks one larger on uneven splits)."""
+    parts = max(1, min(parts, samples))
+    size, extra = divmod(samples, parts)
+    chunks = []
+    start = 0
+    for i in range(parts):
+        count = size + (1 if i < extra else 0)
+        chunks.append((start, count))
+        start += count
+    return tuple(chunks)
+
+
 def _run_task(
     task: _Task,
 ) -> Tuple[int, List[Tuple[float, int]], Optional[List[bool]]]:
-    """One (instance, algorithm) unit: rebuild the graph from its seed,
-    run all ID samples (sharing the topology atlas via ``run_batch``),
+    """One (instance, algorithm, sample-range) unit: resolve the graph —
+    a zero-copy shared-memory attach when the task carries a pool key,
+    a rebuild from ``(family, n, seed, index)`` otherwise — run the
+    task's ID samples (sharing the topology atlas via ``run_batch``),
     return the instance's actual node count, per-sample
     ``(node_averaged, worst_case)``, and — when the algorithm declares
     its LCL and checking is on — per-sample validity verdicts from the
     checker kernel (``verify_batch`` shares the per-graph compile across
     the ID samples; ``early_exit`` keeps invalid labelings cheap)."""
-    family = get_family(task.family)
-    graph = family.instance(task.n, task.seed, task.index)
+    graph = shared_graph(task.graph_key) if task.graph_key else None
+    if graph is None:
+        family = get_family(task.family)
+        graph = family.instance(task.n, task.seed, task.index)
     # deterministic id modes (declared on their ID_MODES entry) ignore the
     # rng and would repeat the same assignment for every sample — simulate
     # it once and replicate the per-sample results instead (aggregates are
@@ -258,7 +333,7 @@ def _run_task(
     id_samples = [
         make_ids(task.id_mode, graph.n, rng=random.Random(
             _sample_seed(task.family, task.n, task.seed, task.index, s)))
-        for s in range(effective_samples)
+        for s in range(task.sample_base, task.sample_base + effective_samples)
     ]
     spec = get_algorithm(task.algorithm)
     if spec.fast_forward is not None:
@@ -325,6 +400,16 @@ class SweepRunner:
         LCL (``AlgorithmSpec.problem``) through the compiled checker
         kernel and record per-cell validity counts.  Algorithms without
         a declared problem report ``validity: null``.
+    shared:
+        Zero-copy substrate switch.  ``True`` builds every instance once
+        in the parent and publishes its CSR arrays through
+        :class:`repro.shm.SharedGraphPool`, so workers attach views
+        instead of rebuilding; it also splits rng-mode tasks across ID
+        samples when the sweep has fewer (instance, algorithm) units than
+        workers (attachment makes per-sample tasks cheap).  ``False``
+        always rebuilds in the worker.  The default ``None`` resolves to
+        ``workers > 1``.  The emitted payload is byte-identical either
+        way — sharing is an optimisation, never a semantic switch.
     """
 
     def __init__(
@@ -335,6 +420,7 @@ class SweepRunner:
         engine: str = "auto",
         id_mode: str = "random",
         check: bool = True,
+        shared: Optional[bool] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -354,6 +440,7 @@ class SweepRunner:
         self.engine = engine
         self.id_mode = id_mode
         self.check = check
+        self.shared = workers > 1 if shared is None else bool(shared)
 
     # ------------------------------------------------------------------
     def run(
@@ -380,27 +467,21 @@ class SweepRunner:
         if not family_names or not sizes or not algorithms:
             raise ValueError("families, sizes and algorithms must be non-empty")
 
-        tasks: List[_Task] = []
-        cells: List[Tuple[str, int, str]] = []
-        for name in family_names:
-            count = self.instances or get_family(name).default_count
-            for n in sizes:
-                for algo in algorithms:
-                    cells.append((name, n, algo))
-                    for index in range(count):
-                        tasks.append(_Task(
-                            family=name, n=n, index=index, algorithm=algo,
-                            samples=self.samples, seed=seed,
-                            engine=self.engine, id_mode=self.id_mode,
-                            check=self.check,
-                        ))
-        if len(set(cells)) != len(cells):
-            raise ValueError(
-                "duplicate (family, n, algorithm) cells — repeated entries "
-                "in families/sizes/algorithms would double-count runs"
+        pool = SharedGraphPool() if self.shared else None
+        try:
+            tasks, cells = self._build_tasks(
+                family_names, sizes, algorithms, seed, pool
             )
-
-        results = self._map(tasks)
+            if len(set(cells)) != len(cells):
+                raise ValueError(
+                    "duplicate (family, n, algorithm) cells — repeated "
+                    "entries in families/sizes/algorithms would "
+                    "double-count runs"
+                )
+            results = self._map(tasks, pool)
+        finally:
+            if pool is not None:
+                pool.close()
 
         per_cell: Dict[Tuple[str, int, str], List[Tuple[float, int]]] = {
             cell: [] for cell in cells
@@ -483,10 +564,88 @@ class SweepRunner:
         return json.dumps(payload, sort_keys=True, indent=2) + "\n"
 
     # ------------------------------------------------------------------
+    def _build_tasks(
+        self,
+        family_names: Sequence[str],
+        sizes: Sequence[int],
+        algorithms: Sequence[str],
+        seed: int,
+        pool: Optional[SharedGraphPool],
+    ) -> Tuple[List[_Task], List[Tuple[str, int, str]]]:
+        """The task list plus the (family, n, algorithm) cell order.
+
+        With a pool, every unique instance is built once here and
+        published; tasks then carry only its digest key.  When the sweep
+        has fewer (instance, algorithm) units than worker slots and the
+        id mode draws per-sample assignments, units are further split
+        across contiguous sample ranges — chunking never changes the
+        per-cell run order (index-ascending, then sample-ascending), so
+        aggregates stay byte-identical at every worker count and with
+        sharing on or off.
+        """
+        counts = {
+            name: self.instances or get_family(name).default_count
+            for name in family_names
+        }
+        units = sum(counts[name] for name in family_names) \
+            * len(sizes) * len(algorithms)
+        deterministic = ID_MODES[self.id_mode].deterministic
+        parts = 1
+        if pool is not None and not deterministic and units < 2 * self.workers:
+            parts = min(self.samples, -(-2 * self.workers // units))
+        chunks = _sample_chunks(self.samples, parts)
+
+        tasks: List[_Task] = []
+        cells: List[Tuple[str, int, str]] = []
+        graph_keys: Dict[Tuple[str, int, int], Optional[str]] = {}
+        for name in family_names:
+            for n in sizes:
+                for algo in algorithms:
+                    cells.append((name, n, algo))
+                    for index in range(counts[name]):
+                        key = None
+                        if pool is not None:
+                            gk = (name, n, index)
+                            if gk not in graph_keys:
+                                graph_keys[gk] = self._publish(
+                                    pool, name, n, seed, index
+                                )
+                            key = graph_keys[gk]
+                        task_chunks = chunks
+                        if key is None or deterministic:
+                            task_chunks = ((0, self.samples),)
+                        for base, count in task_chunks:
+                            tasks.append(_Task(
+                                family=name, n=n, index=index,
+                                algorithm=algo, samples=count, seed=seed,
+                                engine=self.engine, id_mode=self.id_mode,
+                                check=self.check, graph_key=key,
+                                sample_base=base,
+                            ))
+        return tasks, cells
+
+    @staticmethod
+    def _publish(
+        pool: SharedGraphPool, name: str, n: int, seed: int, index: int
+    ) -> Optional[str]:
+        graph = get_family(name).instance(n, seed, index)
+        key = stable_digest("sweep-graph", name, n, seed, index)
+        try:
+            pool.publish(key, graph)
+        except ValueError:
+            # unshareable inputs (alphabet too large) — workers rebuild
+            return None
+        return key
+
     def _map(
-        self, tasks: List[_Task]
+        self, tasks: List[_Task], pool: Optional[SharedGraphPool] = None
     ) -> List[Tuple[int, List[Tuple[float, int]], Optional[List[bool]]]]:
-        return fork_map(_run_task, tasks, self.workers)
+        if pool is None or len(pool) == 0:
+            return fork_map(_run_task, tasks, self.workers)
+        return fork_map(
+            _run_task, tasks, self.workers,
+            initializer=worker_attach_specs, initargs=(pool.specs(),),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -539,6 +698,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="ID-assignment mode: random (digest-seeded) "
                         "or a deterministic adversarial assignment "
                         "(default: random)")
+    parser.add_argument("--shm", action=argparse.BooleanOptionalAction,
+                        default=None, dest="shm",
+                        help="publish instances to shared memory so workers "
+                        "attach zero-copy CSR views instead of rebuilding "
+                        "(--no-shm forces the rebuild path; default: on "
+                        "when workers > 1); the JSON payload is identical "
+                        "either way")
     parser.add_argument("--check", action="store_true",
                         help="verify every produced labeling against its "
                         "algorithm's declared LCL and exit nonzero on any "
@@ -555,7 +721,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runner = SweepRunner(
         workers=args.workers, samples=args.samples,
         instances=args.instances, engine=args.engine,
-        id_mode=args.id_mode, check=args.check,
+        id_mode=args.id_mode, check=args.check, shared=args.shm,
     )
     text = runner.run_json(families, args.sizes, args.algorithms, args.seed)
     payload = json.loads(text)

@@ -417,3 +417,72 @@ class TestCSRSubstrate:
         layers = list(g.bfs_layers([2]))
         assert layers == [[2], [1, 3], [0, 4]]
         assert list(g.bfs_layers([0, 4])) == [[0, 4], [1, 3], [2]]
+
+
+class TestScheduleReplay:
+    """``ScheduleReplay`` wraps a fast-forward solver as a batched
+    algorithm: the batched engine's trace must equal the fast-forward
+    trace exactly, with no other engine accepting the wrapper."""
+
+    def _weighted25(self):
+        from repro.families import weighted_construction_graph
+
+        return weighted_construction_graph(60, 5, 2, 2, "poly")
+
+    def test_apoly_replay_matches_fast_forward(self):
+        from repro.algorithms import replay_apoly, run_apoly
+
+        g = self._weighted25()
+        ids = random_ids(g.n, rng=random.Random(11))
+        ff = run_apoly(g, list(ids), 5, 2, 2)
+        tr = LocalSimulator(engine="batched").run(
+            g, replay_apoly(5, 2, 2), ids=ids)
+        assert tr.rounds == ff.rounds
+        assert tr.outputs == ff.outputs
+
+    def test_weighted35_replay_matches_fast_forward(self):
+        from repro.algorithms import replay_weighted35, run_weighted35
+        from repro.families import weighted_construction_graph
+
+        g = weighted_construction_graph(60, 6, 3, 2, "logstar")
+        ids = random_ids(g.n, rng=random.Random(12))
+        ff = run_weighted35(g, list(ids), 6, 3, 2)
+        tr = LocalSimulator(engine="batched").run(
+            g, replay_weighted35(6, 3, 2), ids=ids)
+        assert tr.rounds == ff.rounds
+        assert tr.outputs == ff.outputs
+
+    def test_generic_replay_matches_fast_forward(self):
+        from repro.algorithms import replay_generic_phases
+        from repro.algorithms.generic_phases import run_generic_fast_forward
+
+        g = balanced_tree(2, 5)
+        ids = random_ids(g.n, rng=random.Random(13))
+        ff = run_generic_fast_forward(g, list(ids), 3, [3, 5], "2.5")
+        tr = LocalSimulator(engine="batched").run(
+            g, replay_generic_phases(3, variant="2.5", gammas=[3, 5]),
+            ids=ids)
+        assert tr.rounds == ff.rounds
+        assert tr.outputs == ff.outputs
+
+    def test_replay_rejects_per_node_engines(self):
+        from repro.algorithms import replay_apoly
+
+        g = self._weighted25()
+        for engine in ("incremental", "reference"):
+            with pytest.raises(TypeError):
+                LocalSimulator(engine=engine).run(g, replay_apoly(5, 2, 2))
+
+    def test_run_batch_recomputes_per_sample(self):
+        # run_batch reuses one algorithm instance across ID samples; the
+        # cached trace must be invalidated when the IDs change
+        from repro.algorithms import replay_apoly, run_apoly
+
+        g = self._weighted25()
+        samples = [random_ids(g.n, rng=random.Random(s)) for s in (1, 2, 3)]
+        traces = LocalSimulator(engine="batched").run_batch(
+            g, replay_apoly(5, 2, 2), samples)
+        for ids, tr in zip(samples, traces):
+            ff = run_apoly(g, list(ids), 5, 2, 2)
+            assert tr.rounds == ff.rounds
+            assert tr.outputs == ff.outputs

@@ -1,0 +1,231 @@
+"""Shared-memory graph substrate and fork_map contract.
+
+Covers the zero-copy protocol end to end: input coding, publish/attach
+parity (in-process and across fork workers), cleanup, and the
+``fork_map`` guarantees the sweep relies on — workers=1 never touches
+multiprocessing, and the initializer hook runs exactly where worker
+state must live.
+"""
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.families import get_family
+from repro.local import Graph, path_graph
+from repro.parallel import fork_map
+from repro.shm import (
+    MAX_ALPHABET,
+    SharedGraphPool,
+    _encode_inputs,
+    shared_graph,
+    worker_attach_specs,
+    worker_detach,
+)
+
+
+def _graphs_equal(a: Graph, b: Graph) -> bool:
+    return (
+        a.n == b.n
+        and a.m == b.m
+        and list(a.edges()) == list(b.edges())
+        and list(a.inputs()) == list(b.inputs())
+    )
+
+
+class TestEncodeInputs:
+    def test_uniform_none_is_flagged(self):
+        alphabet, codes = _encode_inputs([None] * 5)
+        assert alphabet is None and codes == b""
+
+    def test_round_trip(self):
+        inputs = ["A", "W", None, "A", 7]
+        alphabet, codes = _encode_inputs(inputs)
+        assert [alphabet[c] for c in codes] == inputs
+
+    def test_alphabet_overflow(self):
+        with pytest.raises(ValueError):
+            _encode_inputs(list(range(MAX_ALPHABET + 1)))
+
+
+class TestPublishAttach:
+    def test_in_process_parity(self):
+        g = get_family("random_tree").instance(300, 1, 0)
+        g = g.with_inputs(["A" if v % 7 == 0 else "W" for v in range(g.n)])
+        with SharedGraphPool() as pool:
+            spec = pool.publish("k1", g)
+            assert spec.n == g.n and spec.m == g.m
+            # publish is idempotent per key
+            assert pool.publish("k1", g) is spec
+            worker_attach_specs(pool.specs())
+            attached = shared_graph("k1")
+            assert attached is not None
+            assert _graphs_equal(g, attached)
+            # attachment is cached per process
+            assert shared_graph("k1") is attached
+            worker_detach()
+        assert shared_graph("k1") is None
+
+    def test_none_inputs_skip_coding(self):
+        g = path_graph(50)
+        with SharedGraphPool() as pool:
+            spec = pool.publish("k2", g)
+            assert spec.alphabet is None
+            worker_attach_specs(pool.specs())
+            attached = shared_graph("k2")
+            assert _graphs_equal(g, attached)
+            worker_detach()
+
+    def test_parent_graph_lookup(self):
+        g = path_graph(10)
+        with SharedGraphPool() as pool:
+            pool.publish("k3", g)
+            assert pool.graph("k3") is g
+            assert pool.graph("missing") is None
+            assert len(pool) == 1
+
+    def test_close_unlinks_segments(self):
+        from multiprocessing import shared_memory
+
+        pool = SharedGraphPool()
+        spec = pool.publish("k4", path_graph(20))
+        pool.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=spec.shm_name)
+
+    def test_unknown_key_returns_none(self):
+        worker_detach()
+        assert shared_graph("never-published") is None
+
+
+def _read_shared(key: str):
+    g = shared_graph(key)
+    if g is None:
+        return None
+    return (g.n, g.m, sum(g.neighbors(0)), list(g.inputs()[:5]))
+
+
+class TestForkWorkers:
+    def test_workers_attach_across_fork(self):
+        g = get_family("caterpillar").instance(200, 3, 0)
+        g = g.with_inputs([v % 3 for v in range(g.n)])
+        with SharedGraphPool() as pool:
+            pool.publish("fk", g)
+            results = fork_map(
+                _read_shared, ["fk", "fk", "fk", "fk"], workers=2,
+                initializer=worker_attach_specs, initargs=(pool.specs(),),
+            )
+        expected = (g.n, g.m, sum(g.neighbors(0)), list(g.inputs()[:5]))
+        assert results == [expected] * 4
+
+
+def _identity(x):
+    return x
+
+
+def _read_marker(_):
+    import repro.shm as shm_mod
+
+    return getattr(shm_mod, "_TEST_MARKER", None)
+
+
+def _set_marker(value):
+    import repro.shm as shm_mod
+
+    shm_mod._TEST_MARKER = value
+
+
+class TestForkMap:
+    def test_workers_1_never_touches_multiprocessing(self, monkeypatch):
+        # regression: the serial path must not create a pool or even ask
+        # for a context — it is the fallback on fork-less platforms
+        def boom(*args, **kwargs):
+            raise AssertionError("multiprocessing touched at workers=1")
+
+        monkeypatch.setattr(multiprocessing, "get_context", boom)
+        assert fork_map(_identity, [1, 2, 3], workers=1) == [1, 2, 3]
+
+    def test_single_task_stays_in_process(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("multiprocessing touched for a single task")
+
+        monkeypatch.setattr(multiprocessing, "get_context", boom)
+        assert fork_map(_identity, [41], workers=8) == [41]
+
+    def test_initializer_runs_in_process_at_workers_1(self):
+        _set_marker(None)
+        result = fork_map(
+            _read_marker, [0], workers=1,
+            initializer=_set_marker, initargs=("present",),
+        )
+        assert result == ["present"]
+        _set_marker(None)
+
+    def test_initializer_runs_in_workers(self):
+        _set_marker(None)
+        results = fork_map(
+            _read_marker, [0, 1, 2, 3], workers=2,
+            initializer=_set_marker, initargs=("forked",),
+        )
+        # every task ran in a worker whose initializer had fired; the
+        # parent's module state is untouched
+        assert results == ["forked"] * 4
+        assert _read_marker(0) is None
+
+    def test_order_preserved(self):
+        tasks = list(range(23))
+        assert fork_map(_identity, tasks, workers=3) == tasks
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            fork_map(_identity, [1], workers=0)
+
+
+class TestGraphArrayConstructors:
+    def test_from_arrays_matches_sequential(self):
+        rng = random.Random(5)
+        g = get_family("random_tree").instance(80, 9, 0)
+        edges = list(g.edges())
+        rng.shuffle(edges)
+        eu = [u for u, _ in edges]
+        ev = [v for _, v in edges]
+        a = Graph(g.n, edges)
+        b = Graph.from_arrays(g.n, eu, ev)
+        assert list(a.adjacency()[0]) == list(b.adjacency()[0])
+        assert list(a.adjacency()[1]) == list(b.adjacency()[1])
+
+    @pytest.mark.parametrize("edges,message", [
+        ([(0, 9)], "out of range"),
+        ([(1, 1)], "self-loop"),
+        ([(0, 1), (1, 0)], "duplicate edge"),
+    ])
+    def test_from_arrays_error_parity(self, edges, message):
+        eu = [u for u, _ in edges]
+        ev = [v for _, v in edges]
+        with pytest.raises(ValueError, match=message):
+            Graph(3, edges)
+        with pytest.raises(ValueError, match=message):
+            Graph.from_arrays(3, eu, ev)
+
+    def test_from_csr_buffers_round_trip(self):
+        g = get_family("spider").instance(60, 2, 0)
+        g = g.with_inputs([chr(65 + v % 4) for v in range(g.n)])
+        indptr, indices = g.adjacency()
+        attached = Graph.from_csr_buffers(
+            g.n, g.m,
+            memoryview(indptr).cast("B"),
+            memoryview(indices).cast("B"),
+            list(g.inputs()),
+        )
+        assert _graphs_equal(g, attached)
+
+    def test_from_csr_buffers_size_check(self):
+        g = path_graph(5)
+        indptr, indices = g.adjacency()
+        with pytest.raises(ValueError):
+            Graph.from_csr_buffers(
+                g.n, g.m + 1,
+                memoryview(indptr).cast("B"),
+                memoryview(indices).cast("B"),
+            )

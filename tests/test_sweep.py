@@ -220,6 +220,76 @@ class TestValidity:
         assert payload["cells"][0]["validity"] is None
 
 
+class TestSharedSubstrate:
+    def test_shm_and_rebuild_payloads_byte_identical(self):
+        # the zero-copy substrate is an optimisation, never a semantic
+        # switch: serial, rebuild-in-worker and shared-memory runs must
+        # emit the same bytes
+        kwargs = dict(samples=2, instances=2)
+        args = (["random_tree", "caterpillar"], [24], ["two_coloring"])
+        serial = SweepRunner(workers=1, shared=False, **kwargs)
+        rebuild = SweepRunner(workers=4, shared=False, **kwargs)
+        shm = SweepRunner(workers=4, shared=True, **kwargs)
+        j_serial = serial.run_json(*args, seed=2)
+        j_rebuild = rebuild.run_json(*args, seed=2)
+        j_shm = shm.run_json(*args, seed=2)
+        assert j_serial == j_rebuild == j_shm
+        assert "shared" not in json.loads(j_shm)["spec"]
+
+    def test_shared_defaults_track_workers(self):
+        assert SweepRunner(workers=1).shared is False
+        assert SweepRunner(workers=2).shared is True
+        assert SweepRunner(workers=2, shared=False).shared is False
+
+    def test_sample_chunking_path_byte_identical(self):
+        # fewer (instance, algorithm) units than workers triggers the
+        # per-sample task split under shared=True — same bytes either way
+        kwargs = dict(samples=6, instances=1)
+        args = (["random_tree"], [30], ["two_coloring"])
+        j_serial = SweepRunner(workers=1, **kwargs).run_json(*args, seed=4)
+        j_split = SweepRunner(workers=4, shared=True, **kwargs).run_json(
+            *args, seed=4)
+        assert j_serial == j_split
+
+
+class TestWeightedSpecs:
+    def test_weighted_entries_registered(self):
+        assert {"weighted25_ff", "weighted25_replay",
+                "weighted35_ff", "weighted35_replay"} <= set(ALGORITHMS)
+        for name in ("weighted25_ff", "weighted25_replay",
+                     "weighted35_ff", "weighted35_replay"):
+            assert ALGORITHMS[name].problem is not None
+
+    def test_weighted_families_registered(self):
+        get_family("weighted25_d5k2")
+        get_family("weighted35_d6k2")
+
+    def test_replay_matches_fast_forward(self):
+        # the batched ScheduleReplay wrapper must reproduce the
+        # fast-forward trace aggregates exactly, and every labeling must
+        # verify against the declared LCL
+        for family, ff, replay in (
+            ("weighted25_d5k2", "weighted25_ff", "weighted25_replay"),
+            ("weighted35_d6k2", "weighted35_ff", "weighted35_replay"),
+        ):
+            payload = SweepRunner(samples=2).run(
+                [family], [60], [ff, replay])
+            by_algo = {c["algorithm"]: c for c in payload["cells"]}
+            a, b = by_algo[ff], by_algo[replay]
+            assert a["node_averaged"] == b["node_averaged"], family
+            assert a["worst_case"] == b["worst_case"], family
+            for cell in (a, b):
+                assert cell["validity"]["violations"] == 0
+                assert cell["validity"]["valid"] == cell["runs"]
+
+    def test_weighted_sweep_deterministic_across_workers(self):
+        args = (["weighted25_d5k2"], [40], ["weighted25_replay"])
+        kwargs = dict(samples=2, instances=1)
+        j1 = SweepRunner(workers=1, **kwargs).run_json(*args, seed=0)
+        j4 = SweepRunner(workers=4, **kwargs).run_json(*args, seed=0)
+        assert j1 == j4
+
+
 class TestCLI:
     def test_writes_json_file(self, tmp_path, capsys):
         out = tmp_path / "sweep.json"
