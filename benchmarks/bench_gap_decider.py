@@ -11,9 +11,7 @@ rectangles across those replays; this benchmark gates the cache at
 runs), and asserts the verdicts are identical either way.
 """
 
-import time
-
-from harness import record_table
+from harness import record_table, timed
 
 from repro.gap import decide_node_averaged_class
 from repro.gap.census import _decode, enumerate_space, spec_to_problem
@@ -33,12 +31,15 @@ def decide_space(encodings, memoize: bool):
         (spec_to_problem(_decode(enc)), ell)
         for ell in ELLS for enc in encodings
     ]
-    t0 = time.perf_counter()
-    verdicts = [
+    verdicts, wall, _rss = timed(_decide_jobs, jobs, memoize)
+    return wall, [v.klass for v in verdicts]
+
+
+def _decide_jobs(jobs, memoize: bool):
+    return [
         decide_node_averaged_class(p, delta=DELTA, ell=ell, memoize=memoize)
         for p, ell in jobs
     ]
-    return time.perf_counter() - t0, [v.klass for v in verdicts]
 
 
 def test_gap_decider_memoization_speedup():

@@ -123,7 +123,7 @@ def run_naive_weighted25(
     indptr, indices = graph.adjacency()
     active_set = set(active)
     seen = set()
-    for w in weight:
+    for w in sorted(weight):
         if w in seen:
             continue
         comp = [w]

@@ -199,7 +199,7 @@ def _oriented_decomposition_np(
     indptr, indices = vec.csr_arrays(graph)
     member = np.zeros(n, dtype=bool)
     if members:
-        member[list(members)] = True
+        member[sorted(members)] = True
     deg = vec.induced_degrees(indptr, indices, member)
     alive = member.copy()
     parent_arr = np.full(n, -1, dtype=np.int64)
@@ -276,7 +276,7 @@ def _oriented_decomposition_py(
         if i > graph.n + 2:
             raise RuntimeError("oriented decomposition exceeded budget")
         # rake
-        low = [v for v in alive if deg[v] <= 1]
+        low = [v for v in sorted(alive) if deg[v] <= 1]
         chosen = set(low)
         for v in low:
             if v not in chosen:
@@ -284,7 +284,7 @@ def _oriented_decomposition_py(
             for w in graph.neighbors(v):
                 if w in chosen and w > v:
                     chosen.discard(w)
-        for v in chosen:
+        for v in sorted(chosen):
             alive_nbrs = [w for w in graph.neighbors(v) if w in alive and w != v]
             alive_nbrs = [w for w in alive_nbrs if w not in chosen]
             parent[v] = alive_nbrs[0] if alive_nbrs else None
@@ -315,7 +315,7 @@ def _runs_of_degree2(graph: Graph, alive: Set[int], deg: Dict[int, int]) -> List
     member = {v for v in alive if deg[v] == 2}
     runs: List[List[int]] = []
     seen: Set[int] = set()
-    for start in member:
+    for start in sorted(member):
         if start in seen:
             continue
         comp = {start}
@@ -327,7 +327,7 @@ def _runs_of_degree2(graph: Graph, alive: Set[int], deg: Dict[int, int]) -> List
                     comp.add(w)
                     stack.append(w)
         seen |= comp
-        ends = [u for u in comp
+        ends = [u for u in sorted(comp)
                 if sum(1 for w in graph.neighbors(u) if w in comp) <= 1]
         order = [min(ends)] if ends else [min(comp)]
         prev = None

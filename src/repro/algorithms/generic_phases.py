@@ -238,7 +238,7 @@ def _alive_level_paths_py(
         assert all(d <= 2 for d in degs.values()), (
             f"level-{i} alive component is not a path"
         )
-        ends = [u for u in comp if degs[u] <= 1]
+        ends = [u for u in sorted(comp) if degs[u] <= 1]
         order = [min(ends)]
         prev = None
         while True:

@@ -247,7 +247,7 @@ def run_weight_augmented_solver(
 def _weight_components(graph: Graph, weight_set: Set[int]) -> List[List[int]]:
     comps = []
     seen: Set[int] = set()
-    for v in weight_set:
+    for v in sorted(weight_set):
         if v in seen:
             continue
         comp = [v]

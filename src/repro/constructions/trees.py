@@ -13,6 +13,7 @@ from collections import deque
 from typing import List, Optional, Tuple
 
 from ..local.graph import Graph
+from ..parallel import stable_seed
 
 __all__ = [
     "weight_tree_edges",
@@ -63,7 +64,10 @@ def random_tree(n: int, max_degree: int = 4, rng: Optional[random.Random] = None
     """
     if n < 1:
         raise ValueError("n must be >= 1")
-    rng = rng or random.Random()
+    # no rng given: a deterministic function of the shape parameters
+    # (DET001 — unseeded entropy is banned in library code)
+    rng = rng or random.Random(
+        stable_seed("repro.constructions.random_tree", n, max_degree))
     edges: List[Tuple[int, int]] = []
     degree = [0] * n
     candidates = [0]
@@ -105,7 +109,8 @@ def random_forest_inputs(
     problem checkers)."""
     from ..lcl.weighted import ACTIVE, WEIGHT
 
-    rng = rng or random.Random()
+    rng = rng or random.Random(stable_seed(
+        "repro.constructions.random_forest_inputs", graph.n, weight_fraction))
     return [
         WEIGHT if rng.random() < weight_fraction else ACTIVE
         for _ in graph.nodes()

@@ -35,6 +35,13 @@ Entry = Tuple[str, object, LabelSet]  # (root color, outgoing-edge input, label-
 Relation = FrozenSet[Tuple[object, object]]
 
 
+def _entry_key(e: Entry) -> Tuple[str, str, List[str]]:
+    """Total deterministic order for entries.  Label-sets are frozensets
+    (no total order, hashseed-dependent iteration), so compare their
+    sorted string forms (DET004: set order must not reach results)."""
+    return (str(e[0]), str(e[1]), sorted(str(x) for x in e[2]))
+
+
 def _opp(color: str) -> str:
     return BLACK if color == WHITE else WHITE
 
@@ -201,7 +208,8 @@ def _compute_rake_closure(
     while True:
         added = False
         for color in (WHITE, BLACK):
-            child_entries = [e for e in entries if e[0] == _opp(color)]
+            child_entries = sorted(
+                (e for e in entries if e[0] == _opp(color)), key=_entry_key)
             # 2a: no outgoing edge, 1..delta children
             for x in range(1, delta + 1):
                 for combo in itertools.combinations_with_replacement(
@@ -258,7 +266,8 @@ def _pendant_options(
     options: List[List[List[Tuple[object, LabelSet]]]] = []
     per_node_choices = []
     for c in colors:
-        child = [e for e in entries if e[0] == _opp(c)]
+        child = sorted((e for e in entries if e[0] == _opp(c)),
+                       key=_entry_key)
         per_node_choices.append([[]] + [[(e[1], e[2])] for e in child])
     for combo in itertools.product(*per_node_choices):
         options.append([list(p) for p in combo])

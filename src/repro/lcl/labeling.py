@@ -246,7 +246,7 @@ class WeightAugmented25(LCLProblem):
 
         # Item 1: active side solves 2.5-coloring
         levels = compute_levels(graph, self.k, restrict=active)
-        for v in active:
+        for v in sorted(active):
             violations.extend(
                 self.base.check_node_with_levels(graph, levels, outputs, v)
             )
@@ -257,7 +257,7 @@ class WeightAugmented25(LCLProblem):
         def w_out(o):
             return o[1] if (o[1] is not None and o[1] in weight) else None
 
-        for v in weight:
+        for v in sorted(weight):
             violations.extend(
                 check_labeling_rules(
                     graph, outputs, v, members=weight,
@@ -267,7 +267,7 @@ class WeightAugmented25(LCLProblem):
             )
 
         # Items 3-5: secondary outputs
-        for v in weight:
+        for v in sorted(weight):
             lab, out, sec = outputs[v]
             active_nbrs = [w for w in graph.neighbors(v) if w in active]
             if active_nbrs:

@@ -153,7 +153,7 @@ def _trace_component(graph: Graph, members: set, start: int) -> List[int]:
     degs = {v: sum(1 for w in same(v) if w in comp) for v in comp}
     if any(d > 2 for d in degs.values()):
         return sorted(comp)
-    endpoints = [v for v in comp if degs[v] <= 1]
+    endpoints = [v for v in sorted(comp) if degs[v] <= 1]
     if not endpoints:  # cycle: impossible in a tree, defensive
         return sorted(comp)
     order = [min(endpoints)]

@@ -1,0 +1,95 @@
+"""JSON baseline: gate CI on *regressions*, not the historical backlog.
+
+A baseline file records findings that are known and intentional::
+
+    {
+      "version": 1,
+      "findings": [
+        {"file": "src/repro/x.py", "rule": "DET004", "line": 12,
+         "reason": "iteration feeds a set, order provably irrelevant"}
+      ]
+    }
+
+Every entry must carry a non-empty ``reason`` — a baseline is a list of
+justified exceptions, not a mute button; loading rejects entries
+without one.  A finding matches an entry on ``(file, rule, line)``.
+Entries that no longer match any finding are *stale* and reported so the
+file shrinks as violations are fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from .core import Finding
+
+__all__ = ["BaselineError", "load_baseline", "split_findings",
+           "render_baseline"]
+
+BaselineKey = Tuple[str, str, int]
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, missing reason, ...)."""
+
+
+def load_baseline(path: str) -> Dict[BaselineKey, str]:
+    """``{(file, rule, line): reason}`` from a baseline file."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    entries = payload.get("findings") if isinstance(payload, dict) else None
+    if not isinstance(entries, list):
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'findings' list"
+        )
+    baseline: Dict[BaselineKey, str] = {}
+    for i, entry in enumerate(entries):
+        try:
+            key = (str(entry["file"]), str(entry["rule"]),
+                   int(entry["line"]))
+            reason = str(entry["reason"]).strip()
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(
+                f"baseline {path} entry {i} needs file/rule/line/reason"
+            ) from exc
+        if not reason:
+            raise BaselineError(
+                f"baseline {path} entry {i} ({key[0]}:{key[2]} {key[1]}) "
+                "has an empty reason — every baselined finding must say "
+                "why it is intentional"
+            )
+        baseline[key] = reason
+    return baseline
+
+
+def split_findings(
+    findings: Sequence[Finding], baseline: Dict[BaselineKey, str]
+) -> Tuple[List[Finding], List[Tuple[Finding, str]], List[BaselineKey]]:
+    """Partition into (active, baselined-with-reason, stale keys)."""
+    active: List[Finding] = []
+    matched: List[Tuple[Finding, str]] = []
+    seen = set()
+    for finding in findings:
+        key = (finding.file, finding.rule, finding.line)
+        if key in baseline:
+            matched.append((finding, baseline[key]))
+            seen.add(key)
+        else:
+            active.append(finding)
+    stale = sorted(key for key in baseline if key not in seen)
+    return active, matched, stale
+
+
+def render_baseline(findings: Sequence[Finding], reason: str) -> str:
+    """A baseline document covering ``findings``, every entry stamped
+    with ``reason`` (callers normally edit per-entry reasons by hand)."""
+    entries = [
+        {"file": f.file, "rule": f.rule, "line": f.line, "reason": reason}
+        for f in sorted(findings)
+    ]
+    return json.dumps({"version": 1, "findings": entries},
+                      indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,52 @@
+"""Per-directory severity configuration.
+
+Severities are ``"error"`` (fails the run), ``"warning"`` (reported,
+does not fail) and ``"off"`` (rule skipped).  Rules declare a default
+(``error`` throughout) and :data:`PATH_OVERRIDES` relaxes them by
+path prefix — the determinism rules are hard errors in library code but
+benchmarks are allowed looser hygiene, and ``benchmarks/harness.py`` is
+the one sanctioned wall-clock reader (its ``timed`` helper is how
+benches are *supposed* to measure time, so DET003 is off exactly there).
+
+Resolution: the longest matching prefix that configures the rule wins;
+an exact file entry beats its directory entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["PATH_OVERRIDES", "severity_for", "normalize_path"]
+
+#: ``(path prefix, {rule id: severity})`` — longest matching prefix wins.
+PATH_OVERRIDES: List[Tuple[str, Dict[str, str]]] = [
+    # benchmarks are exploratory: determinism lapses are worth a warning,
+    # not a broken build (they never feed byte-compared payloads)
+    ("benchmarks", {
+        "DET001": "warning",
+        "DET004": "warning",
+    }),
+    # the sanctioned wall-clock reader: every bench times through
+    # harness.timed()/peak_rss_mib() rather than calling the clock itself
+    ("benchmarks/harness.py", {"DET003": "off"}),
+]
+
+
+def normalize_path(path: str) -> str:
+    """Posix-style relative display path (what prefixes match against)."""
+    return path.replace("\\", "/").lstrip("./")
+
+
+def severity_for(path: str, rule_id: str, default: str) -> str:
+    """The effective severity of ``rule_id`` for the file at ``path``."""
+    path = normalize_path(path)
+    best = default
+    best_len = -1
+    for prefix, overrides in PATH_OVERRIDES:
+        if rule_id not in overrides:
+            continue
+        if path == prefix or path.startswith(prefix + "/"):
+            if len(prefix) > best_len:
+                best = overrides[rule_id]
+                best_len = len(prefix)
+    return best

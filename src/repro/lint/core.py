@@ -1,0 +1,272 @@
+"""Rule framework: findings, module context, suppressions, file analysis.
+
+A rule is an :class:`ast.NodeVisitor` subclass over one parsed module.
+The framework hands every rule a shared :class:`ModuleContext` — source,
+tree, parent links and import resolution — so individual rules stay
+small: they pattern-match nodes and call :meth:`Rule.report`.
+
+Suppressions are inline comments::
+
+    risky_call()  # lint: allow(DET003) bench wall-clock column
+
+The reason text after the closing paren is mandatory — an ``allow``
+without one does not suppress and is itself reported (``LINT000``), so
+every silenced finding is explained at the silencing site.  A
+suppression on its own line covers the next line of code.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Suppressions",
+    "analyze_source",
+    "analyze_file",
+    "BAD_SUPPRESSION_RULE",
+    "PARSE_ERROR_RULE",
+]
+
+#: pseudo-rule ids emitted by the framework itself (not in the registry)
+BAD_SUPPRESSION_RULE = "LINT000"
+PARSE_ERROR_RULE = "LINT001"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, ordered for deterministic reports."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (f"{self.file}:{self.line}:{self.col + 1}: "
+                f"{self.rule} {self.severity}: {self.message}")
+
+
+class ModuleContext:
+    """Shared per-module facts every rule can lean on.
+
+    * ``imports`` / ``from_imports`` — local name to dotted-path maps
+      (``import numpy as np`` → ``np: numpy``; ``from random import
+      Random`` → ``Random: random.Random``).
+    * :meth:`qualname` — resolve a ``Name``/``Attribute`` chain to its
+      dotted import path, or ``None`` when the base is not an import
+      binding (a local, a parameter, ...).
+    * :meth:`is_builtin` — a name that is a Python builtin *here*: not
+      shadowed by an import, a module-level assignment or def.
+    * :meth:`parent` — enclosing AST node (lazily built parent map).
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.imports: Dict[str, str] = {}
+        self.from_imports: Dict[str, str] = {}
+        self._module_names: Set[str] = set()
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".")[0]
+                        self.imports[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                module = ("." * node.level) + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = f"{module}.{alias.name}"
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                self._module_names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for n in ast.walk(target):
+                        if isinstance(n, ast.Name):
+                            self._module_names.add(n.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name):
+                self._module_names.add(stmt.target.id)
+
+    # ------------------------------------------------------------------
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """Dotted import path of a ``Name``/``Attribute`` chain, if its
+        base resolves through this module's imports."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.from_imports.get(node.id) or self.imports.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def is_builtin(self, name: str) -> bool:
+        return (name not in self.imports and name not in self.from_imports
+                and name not in self._module_names)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        if self._parents is None:
+            self._parents = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    self._parents[child] = outer
+        return self._parents.get(node)
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for lint rules.
+
+    Subclasses set ``id``/``summary``/``default_severity`` and override
+    ``visit_*`` methods, reporting via :meth:`report`.  One instance is
+    created per (rule, module) pair, so per-module state lives on
+    ``self``.
+    """
+
+    id: str = "RULE000"
+    summary: str = ""
+    default_severity: str = "error"
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.raw: List[Tuple[int, int, str]] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.raw.append((node.lineno, node.col_offset, message))
+
+    def run(self) -> List[Tuple[int, int, str]]:
+        self.visit(self.ctx.tree)
+        return self.raw
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+_ALLOW_RE = re.compile(
+    r"#\s*lint:\s*allow\(\s*([A-Za-z]+\d+(?:\s*,\s*[A-Za-z]+\d+)*)\s*\)(.*)$"
+)
+
+
+class Suppressions:
+    """Per-line ``# lint: allow(RULE-ID) reason`` map for one module."""
+
+    def __init__(self, source: str) -> None:
+        #: line -> set of rule ids allowed there
+        self.allowed: Dict[int, Set[str]] = {}
+        #: (line, col) of allow comments missing the mandatory reason
+        self.missing_reason: List[Tuple[int, int]] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _ALLOW_RE.search(tok.string)
+                if not match:
+                    continue
+                rules = {r.strip().upper() for r in match.group(1).split(",")}
+                reason = match.group(2).strip()
+                line, col = tok.start
+                if not reason:
+                    self.missing_reason.append((line, col))
+                    continue
+                self.allowed.setdefault(line, set()).update(rules)
+                # a standalone comment line covers the next line of code
+                prefix = source.splitlines()[line - 1][:col]
+                if not prefix.strip():
+                    self.allowed.setdefault(line + 1, set()).update(rules)
+        except tokenize.TokenError:  # pragma: no cover - parse error path
+            pass
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        return rule in self.allowed.get(line, ())
+
+
+# ----------------------------------------------------------------------
+# analysis entry points
+# ----------------------------------------------------------------------
+def analyze_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[type]] = None,
+    severity_for=None,
+) -> List[Finding]:
+    """Lint one module given as text.
+
+    ``path`` is the display path (also what per-directory severity
+    configuration matches against).  ``rules`` defaults to the full
+    registry; ``severity_for(path, rule_id, default)`` defaults to the
+    repo configuration in :mod:`repro.lint.config`.
+    """
+    if rules is None:
+        from .rules import all_rules
+        rules = all_rules()
+    if severity_for is None:
+        from .config import severity_for
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 1, (exc.offset or 1) - 1,
+                        PARSE_ERROR_RULE, "error",
+                        f"syntax error: {exc.msg}")]
+    ctx = ModuleContext(path, source, tree)
+    suppressions = Suppressions(source)
+    findings: List[Finding] = []
+    for line, col in suppressions.missing_reason:
+        findings.append(Finding(
+            path, line, col, BAD_SUPPRESSION_RULE, "error",
+            "suppression must carry a reason: "
+            "# lint: allow(RULE-ID) <why this is intentional>",
+        ))
+    for rule_cls in rules:
+        severity = severity_for(path, rule_cls.id, rule_cls.default_severity)
+        if severity == "off":
+            continue
+        for line, col, message in rule_cls(ctx).run():
+            if suppressions.suppresses(line, rule_cls.id):
+                continue
+            findings.append(Finding(path, line, col, rule_cls.id,
+                                    severity, message))
+    findings.sort()
+    return findings
+
+
+def analyze_file(
+    abs_path: str,
+    display_path: Optional[str] = None,
+    rules: Optional[Sequence[type]] = None,
+) -> List[Finding]:
+    """Lint one file on disk (see :func:`analyze_source`)."""
+    with open(abs_path, encoding="utf-8") as fh:
+        source = fh.read()
+    return analyze_source(source, display_path or abs_path, rules=rules)

@@ -1,0 +1,44 @@
+"""Rule registry: the active rule packs.
+
+``all_rules()`` is the single source of truth for which rules run; the
+CLI's ``--list-rules`` and the default path of
+:func:`repro.lint.core.analyze_source` both read it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from ..core import Rule
+from .contracts import (
+    BatchCacheResetRule,
+    ForkMapClosureRule,
+    SharedGraphWriteRule,
+    ViewPrivateAccessRule,
+)
+from .determinism import (
+    BuiltinHashRule,
+    SetIterationRule,
+    UnorderedPoolRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+
+__all__ = ["all_rules"]
+
+_REGISTRY: List[Type[Rule]] = [
+    UnseededRandomRule,     # DET001
+    BuiltinHashRule,        # DET002
+    WallClockRule,          # DET003
+    SetIterationRule,       # DET004
+    UnorderedPoolRule,      # DET005
+    ViewPrivateAccessRule,  # ENG001
+    BatchCacheResetRule,    # ENG002
+    ForkMapClosureRule,     # PAR001
+    SharedGraphWriteRule,   # SHM001
+]
+
+
+def all_rules() -> List[Type[Rule]]:
+    """The active rules, in stable (id) order."""
+    return sorted(_REGISTRY, key=lambda rule: rule.id)

@@ -1,0 +1,281 @@
+"""ENG/PAR/SHM rules: engine, fan-out and shared-memory contracts.
+
+These encode ``docs/engine-contract.md`` at the AST level:
+
+* **ENG001** — ``decide``/``decide_batch`` reaching into private view
+  state (``view._*``).  The View API is the sealed interface algorithms
+  see; touching internals breaks engine interchangeability.
+* **ENG002** — ``BatchedAlgorithm`` caches assigned in ``decide_batch``
+  (or helpers) but never reset in ``setup``, leaking state across
+  executions.
+* **PAR001** — lambdas/closures handed to ``fork_map``; workers must be
+  module-level functions or fork pickling fails (or silently binds
+  stale state).
+* **SHM001** — mutation of attached shared-memory graph arrays, or
+  un-sealing them (``setflags(write=True)``); attached segments are
+  concurrently mapped by sibling workers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple
+
+from ..core import Rule
+
+__all__ = [
+    "ViewPrivateAccessRule",
+    "BatchCacheResetRule",
+    "ForkMapClosureRule",
+    "SharedGraphWriteRule",
+]
+
+#: parameter names the engine contract reserves for sealed views
+_VIEW_PARAMS = {"view", "views"}
+
+
+class ViewPrivateAccessRule(Rule):
+    """ENG001: algorithm code touching private view state."""
+
+    id = "ENG001"
+    summary = ("decide/decide_batch must stay inside the View API; "
+               "view._* is engine-private state")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        args = node.args
+        params = {a.arg for a in (args.posonlyargs + args.args
+                                  + args.kwonlyargs)}
+        sealed = params & _VIEW_PARAMS
+        if sealed:
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Attribute):
+                    continue
+                base = inner.value
+                if (isinstance(base, ast.Name) and base.id in sealed
+                        and inner.attr.startswith("_")
+                        and not inner.attr.startswith("__")):
+                    self.report(inner, f"{base.id}.{inner.attr} is "
+                                       "engine-private state; algorithms "
+                                       "must use the public View API "
+                                       "(ball/label/radius/...)")
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+_RESET_METHODS = {"__init__", "setup"}
+
+
+class BatchCacheResetRule(Rule):
+    """ENG002: per-execution caches not reset in ``setup``.
+
+    In a class that defines ``decide_batch``, any ``self._x`` assigned
+    inside a non-``setup`` method is a per-execution cache (memoised
+    traces, batch state, colour tables).  ``setup(graph, n)`` is the
+    engine's only reset hook between executions — a cache it does not
+    reassign leaks the previous graph's state into the next run.
+    """
+
+    id = "ENG002"
+    summary = ("BatchedAlgorithm caches assigned outside setup must be "
+               "reset in setup (the per-execution reset hook)")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods = [m for m in node.body if isinstance(
+            m, (ast.FunctionDef, ast.AsyncFunctionDef))]
+        names = {m.name for m in methods}
+        if "decide_batch" not in names:
+            self.generic_visit(node)
+            return
+        reset: Set[str] = set()
+        for m in methods:
+            if m.name in _RESET_METHODS:
+                reset |= {attr for attr, _ in self._self_assignments(m)}
+        for m in methods:
+            if m.name in _RESET_METHODS or (
+                    m.name.startswith("__") and m.name.endswith("__")):
+                continue
+            for attr, site in self._self_assignments(m):
+                if attr not in reset:
+                    self.report(site, f"self.{attr} is assigned in "
+                                      f"{m.name}() but never reset in "
+                                      "setup(); per-execution caches "
+                                      "leak across executions")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _self_assignments(
+        method: ast.AST,
+    ) -> List[Tuple[str, ast.AST]]:
+        """``(attr, node)`` for every ``self.attr = ...`` in ``method``."""
+        out: List[Tuple[str, ast.AST]] = []
+        for inner in ast.walk(method):
+            targets: List[ast.expr] = []
+            if isinstance(inner, ast.Assign):
+                targets = inner.targets
+            elif isinstance(inner, (ast.AugAssign, ast.AnnAssign)):
+                targets = [inner.target]
+            for target in targets:
+                nodes = (target.elts if isinstance(
+                    target, (ast.Tuple, ast.List)) else [target])
+                for t in nodes:
+                    if (isinstance(t, ast.Attribute)
+                            and isinstance(t.value, ast.Name)
+                            and t.value.id == "self"):
+                        out.append((t.attr, t))
+        return out
+
+
+class ForkMapClosureRule(Rule):
+    """PAR001: only module-level callables survive fork_map pickling."""
+
+    id = "PAR001"
+    summary = ("fork_map workers must be module-level functions; "
+               "lambdas/closures do not pickle")
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        #: names bound to lambdas or nested defs, per enclosing function
+        self._local_callables: List[Set[str]] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        local: Set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local.add(stmt.name)
+            elif isinstance(stmt, ast.Assign) and isinstance(
+                    stmt.value, ast.Lambda):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        local.add(target.id)
+        self._local_callables.append(local)
+        self.generic_visit(node)
+        self._local_callables.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        is_fork_map = (
+            (isinstance(func, ast.Name) and func.id == "fork_map")
+            or (isinstance(func, ast.Attribute) and func.attr == "fork_map")
+        )
+        if is_fork_map:
+            candidates: List[ast.expr] = []
+            if node.args:
+                candidates.append(node.args[0])
+            for kw in node.keywords:
+                if kw.arg in ("fn", "initializer"):
+                    candidates.append(kw.value)
+            for cand in candidates:
+                self._check_worker(cand)
+        self.generic_visit(node)
+
+    def _check_worker(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Lambda):
+            self.report(node, "lambda passed to fork_map; lambdas do not "
+                              "pickle across the fork — define a module-"
+                              "level worker function")
+        elif isinstance(node, ast.Name):
+            for scope in self._local_callables:
+                if node.id in scope:
+                    self.report(node, f"{node.id} is defined inside a "
+                                      "function; fork_map workers must "
+                                      "be module-level (closures do not "
+                                      "pickle)")
+                    return
+
+
+_ATTACH_CALLS = {"shared_graph", "attach_graph", "from_csr_buffers"}
+
+
+class SharedGraphWriteRule(Rule):
+    """SHM001: attached shared-memory graphs are read-only.
+
+    A graph obtained from :func:`repro.shm.shared_graph` /
+    :func:`attach_graph` / :meth:`Graph.from_csr_buffers` aliases a
+    segment mapped by every sibling worker; an in-place write races all
+    of them.  The rule flags stores into arrays unpacked from such a
+    graph's ``adjacency()`` and any ``setflags(write=True)`` /
+    ``.flags.writeable = True`` un-sealing (sealing with ``False``, as
+    ``frontier._readonly`` does, is the sanctioned direction).
+    """
+
+    id = "SHM001"
+    summary = ("attached shared-memory graph arrays are read-only; "
+               "copy before mutating")
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._shared_graphs: Set[str] = set()
+        self._shared_arrays: Set[str] = set()
+
+    @staticmethod
+    def _is_attach_call(node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _ATTACH_CALLS
+
+    @staticmethod
+    def _writeable_target(target: ast.expr) -> bool:
+        return (isinstance(target, ast.Attribute)
+                and target.attr == "writeable"
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "flags")
+
+    def _check_store_target(self, target: ast.expr) -> None:
+        if (isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in self._shared_arrays):
+            self.report(target, f"store into {target.value.id}[...] — it "
+                                "aliases an attached shared-memory "
+                                "segment; copy before mutating")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "setflags":
+            for kw in node.keywords:
+                if kw.arg == "write" and not (
+                        isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False):
+                    self.report(node, "setflags(write=True) un-seals a "
+                                      "shared array; attached segments "
+                                      "are mapped by sibling workers — "
+                                      "copy instead")
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # 1) firing: un-sealing and stores into tracked arrays
+        for target in node.targets:
+            if self._writeable_target(target):
+                if not (isinstance(node.value, ast.Constant)
+                        and node.value.value is False):
+                    self.report(node, ".flags.writeable = True un-seals "
+                                      "a shared array; attached segments "
+                                      "are mapped by sibling workers")
+            self._check_store_target(target)
+        # 2) tracking: graphs from attach calls, arrays from adjacency()
+        value = node.value
+        if self._is_attach_call(value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._shared_graphs.add(target.id)
+        elif (isinstance(value, ast.Call)
+              and isinstance(value.func, ast.Attribute)
+              and value.func.attr == "adjacency"
+              and isinstance(value.func.value, ast.Name)
+              and value.func.value.id in self._shared_graphs):
+            for target in node.targets:
+                elts = (target.elts if isinstance(
+                    target, (ast.Tuple, ast.List)) else [target])
+                for t in elts:
+                    if isinstance(t, ast.Name):
+                        self._shared_arrays.add(t.id)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_target(node.target)
+        self.generic_visit(node)

@@ -1,0 +1,138 @@
+"""File collection, parallel analysis and deterministic reports.
+
+The runner eats its own dogfood: files fan out over
+:func:`repro.parallel.fork_map` — the exact ordered-fan-out discipline
+DET005/PAR001 enforce — with a module-level worker, so ``--format json``
+output is byte-identical at every ``--jobs`` count (test-gated by
+``tests/test_lint.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..parallel import fork_map
+from .baseline import BaselineKey, load_baseline, split_findings
+from .config import normalize_path
+from .core import Finding, analyze_file
+
+__all__ = ["LintReport", "collect_files", "run_lint"]
+
+
+def collect_files(paths: Sequence[str],
+                  root: str = ".") -> List[Tuple[str, str]]:
+    """``(abs_path, display_path)`` pairs, sorted by display path.
+
+    Directories expand to every ``*.py`` beneath them; files are taken
+    as given.  Display paths are root-relative and posix-style so the
+    report (and baseline keys) are machine-independent.
+    """
+    root = os.path.abspath(root)
+    out: Dict[str, str] = {}
+
+    def add(abs_path: str) -> None:
+        rel = os.path.relpath(abs_path, root)
+        out[normalize_path(rel.replace(os.sep, "/"))] = abs_path
+
+    for path in paths:
+        abs_path = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isdir(abs_path):
+            for dirpath, dirnames, filenames in os.walk(abs_path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in ("__pycache__", ".git"))
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        add(os.path.join(dirpath, name))
+        elif os.path.isfile(abs_path):
+            add(abs_path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return [(out[display], display) for display in sorted(out)]
+
+
+def _analyze_task(task: Tuple[str, str]) -> List[Finding]:
+    """fork_map worker: lint one file (module-level, hence picklable)."""
+    abs_path, display_path = task
+    return analyze_file(abs_path, display_path)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run over a set of files."""
+
+    files: int
+    findings: List[Finding]                       # active (not baselined)
+    baselined: List[Tuple[Finding, str]] = field(default_factory=list)
+    stale_baseline: List[BaselineKey] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    # -- rendering ------------------------------------------------------
+    def summary(self) -> Dict[str, int]:
+        return {
+            "files": self.files,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "baselined": len(self.baselined),
+            "stale_baseline": len(self.stale_baseline),
+        }
+
+    def to_json(self) -> str:
+        payload = {
+            "findings": [f.to_json() for f in self.findings],
+            "baselined": [
+                dict(f.to_json(), reason=reason)
+                for f, reason in self.baselined
+            ],
+            "stale_baseline": [
+                {"file": file, "rule": rule, "line": line}
+                for file, rule, line in self.stale_baseline
+            ],
+            "summary": self.summary(),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def to_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        for key in self.stale_baseline:
+            file, rule, line = key
+            lines.append(f"{file}:{line}: stale baseline entry for {rule} "
+                         "(finding no longer present — prune it)")
+        s = self.summary()
+        lines.append(
+            f"{s['files']} files: {s['errors']} errors, "
+            f"{s['warnings']} warnings, {s['baselined']} baselined, "
+            f"{s['stale_baseline']} stale baseline entries"
+        )
+        return "\n".join(lines) + "\n"
+
+
+def run_lint(
+    paths: Sequence[str],
+    jobs: int = 1,
+    baseline_path: Optional[str] = None,
+    root: str = ".",
+) -> LintReport:
+    """Lint ``paths`` with ``jobs`` workers, honouring a baseline file."""
+    tasks = collect_files(paths, root=root)
+    per_file = fork_map(_analyze_task, tasks, workers=jobs)
+    findings = sorted(f for file_findings in per_file
+                      for f in file_findings)
+    baseline = load_baseline(baseline_path) if baseline_path else {}
+    active, matched, stale = split_findings(findings, baseline)
+    return LintReport(files=len(tasks), findings=active,
+                      baselined=matched, stale_baseline=stale)

@@ -250,9 +250,15 @@ class Graph:
         ``inputs`` sequence by reference (it must be immutable and
         support ``len``/indexing), which lets shared-memory attaches skip
         materializing n-element label lists.
+
+        The views are sealed read-only (``memoryview.toreadonly``):
+        attached buffers are typically mapped concurrently by sibling
+        workers, so a store through this graph would race every process
+        sharing the segment (SHM001) — writers must go through the
+        owning pool, never an attach.
         """
-        indptr = memoryview(indptr_buf).cast(_CSR_TYPECODE)
-        indices = memoryview(indices_buf).cast(_CSR_TYPECODE)
+        indptr = memoryview(indptr_buf).toreadonly().cast(_CSR_TYPECODE)
+        indices = memoryview(indices_buf).toreadonly().cast(_CSR_TYPECODE)
         if len(indptr) != n + 1 or len(indices) != 2 * m:
             raise ValueError("CSR buffer sizes do not match (n, m)")
         g = object.__new__(cls)

@@ -31,6 +31,8 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, NamedTuple, Optional
 
+from ..parallel import stable_seed
+
 __all__ = [
     "sequential_ids",
     "random_ids",
@@ -72,8 +74,11 @@ def random_ids(
     Uses rejection sampling without materialising the ID space: draws are
     retried on collision, which is cheap because the space is ``n^c >= n^3``
     times larger than the sample (expected extra draws are ``O(1/n)``).
+
+    Without an explicit ``rng`` the assignment is a deterministic function
+    of ``(n, c)`` (DET001: unseeded entropy is banned in library code).
     """
-    rng = rng or random.Random()
+    rng = rng or random.Random(stable_seed("repro.local.ids.random_ids", n, c))
     space = id_space_size(n, c)
     chosen: set = set()
     ids: List[int] = []

@@ -123,10 +123,17 @@ def _encode_inputs(inputs: Sequence) -> Tuple[Optional[Tuple[object, ...]], byte
 
 
 def attach_graph(spec: GraphSpec, shm: shared_memory.SharedMemory) -> Graph:
-    """Zero-copy :class:`Graph` over an already-opened segment."""
+    """Zero-copy :class:`Graph` over an already-opened segment.
+
+    The whole segment is sealed read-only before slicing, so the CSR
+    views *and* the coded-input bytes all reject stores (SHM001): an
+    attached segment is concurrently mapped by every sibling worker, and
+    a write here would race all of them.  Only the publishing parent
+    (``SharedGraphPool.publish``) writes, before any worker attaches.
+    """
     a = _ITEM * (spec.n + 1)
     b = a + _ITEM * 2 * spec.m
-    buf = shm.buf
+    buf = shm.buf.toreadonly()
     if spec.alphabet is None:
         return Graph.from_csr_buffers(spec.n, spec.m, buf[:a], buf[a:b])
     inputs = _CodedInputs(buf[b:b + spec.n], spec.alphabet)

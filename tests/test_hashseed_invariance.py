@@ -1,0 +1,53 @@
+"""PYTHONHASHSEED invariance of the CLI payloads.
+
+The repo's determinism contract says every published byte is a function
+of declared seeds — which specifically excludes the interpreter's hash
+salt.  String-keyed ``set``/``dict`` iteration order *does* change with
+``PYTHONHASHSEED``, so any place where that order leaks into results
+(the DET004 lint rule's target) shows up here as a byte diff.  These
+tests run the two worker-facing CLIs — a sweep slice and a census slice
+— in fresh subprocesses under two different hash seeds and require
+byte-identical stdout.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _run(args, hashseed: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["PYTHONHASHSEED"] = hashseed
+    return subprocess.run(
+        [sys.executable, "-m", *args],
+        cwd=REPO, env=env, capture_output=True, text=True,
+    )
+
+
+def _assert_invariant(args) -> None:
+    a = _run(args, "0")
+    b = _run(args, "42")
+    assert a.returncode == 0, a.stdout + a.stderr
+    assert b.returncode == 0, b.stdout + b.stderr
+    assert a.stdout == b.stdout, (
+        "stdout differs between PYTHONHASHSEED=0 and 42 — some set/dict "
+        "iteration order is leaking into the payload (see lint rule DET004)"
+    )
+    assert a.stdout.strip(), "expected a JSON payload on stdout"
+
+
+def test_sweep_payload_is_hashseed_invariant():
+    _assert_invariant([
+        "repro.sweep", "--family", "random_tree", "--sizes", "48",
+        "--samples", "2", "--instances", "2", "--workers", "2", "--check",
+    ])
+
+
+def test_census_payload_is_hashseed_invariant():
+    _assert_invariant([
+        "repro.gap.census", "--max-labels", "2", "--delta", "2",
+        "--workers", "2", "--max-problems", "12", "--no-cross-validate",
+    ])

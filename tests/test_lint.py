@@ -1,0 +1,370 @@
+"""The repro.lint static analyzer: rules, framework, runner and CLI.
+
+Every rule gets at least one positive (fires) and one negative (stays
+silent) fixture; the framework tests pin the suppression contract
+(reasons are mandatory), the per-directory severity config and the
+baseline workflow; the CLI tests pin the two repo-level guarantees —
+``python -m repro.lint src tests benchmarks`` exits 0, and ``--format
+json`` output is byte-identical at ``--jobs 1`` and ``--jobs 4``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import all_rules, analyze_source
+from repro.lint.baseline import (
+    BaselineError,
+    load_baseline,
+    render_baseline,
+    split_findings,
+)
+from repro.lint.config import severity_for
+from repro.lint.core import BAD_SUPPRESSION_RULE, PARSE_ERROR_RULE, Finding
+from repro.lint.runner import collect_files, run_lint
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+#: default display path: library code, where every DET rule is an error
+SRC = "src/repro/fixture.py"
+
+
+def rule_ids(source: str, path: str = SRC):
+    return [f.rule for f in analyze_source(source, path)]
+
+
+class TestRegistry:
+    def test_at_least_eight_rules(self):
+        rules = all_rules()
+        assert len(rules) >= 8
+        ids = [r.id for r in rules]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+        assert all(r.summary for r in rules)
+
+
+class TestDET001UnseededRandom:
+    def test_unseeded_random_and_global_draws_fire(self):
+        src = ("import random\n"
+               "r = random.Random()\n"
+               "x = random.randint(1, 5)\n")
+        assert rule_ids(src) == ["DET001", "DET001"]
+
+    def test_numpy_global_rng_fires(self):
+        assert rule_ids("import numpy as np\nx = np.random.rand(3)\n") \
+            == ["DET001"]
+
+    def test_seeded_rng_is_clean(self):
+        src = ("import random\n"
+               "r = random.Random(7)\n"
+               "y = r.randint(1, 5)\n")
+        assert rule_ids(src) == []
+
+
+class TestDET002BuiltinHash:
+    def test_hash_call_fires(self):
+        assert rule_ids("k = hash(('a', 1))\n") == ["DET002"]
+
+    def test_dunder_hash_is_exempt(self):
+        src = ("class A:\n"
+               "    def __hash__(self):\n"
+               "        return hash(('A', self.x))\n")
+        assert rule_ids(src) == []
+
+    def test_shadowed_hash_is_clean(self):
+        src = ("def hash(x):\n"
+               "    return 0\n"
+               "k = hash('a')\n")
+        assert rule_ids(src) == []
+
+
+class TestDET003WallClock:
+    def test_attribute_read_fires(self):
+        assert rule_ids("import time\nt = time.time()\n") == ["DET003"]
+
+    def test_from_import_fires(self):
+        assert rule_ids(
+            "from time import perf_counter\nt = perf_counter()\n"
+        ) == ["DET003"]
+
+    def test_sleep_is_not_a_clock(self):
+        assert rule_ids("import time\ntime.sleep(1)\n") == []
+
+
+class TestDET004SetIteration:
+    def test_for_loop_with_append_fires(self):
+        src = "s = {1, 2}\nout = []\nfor v in s:\n    out.append(v)\n"
+        assert rule_ids(src) == ["DET004"]
+
+    def test_listcomp_and_list_conversion_fire(self):
+        assert rule_ids("s = {1, 2}\ny = [v for v in s]\n") == ["DET004"]
+        assert rule_ids("s = {1, 2}\ny = list(s)\n") == ["DET004"]
+
+    def test_annotated_set_param_is_tracked(self):
+        src = ("from typing import Set\n"
+               "def f(s: Set[int]):\n"
+               "    out = []\n"
+               "    for v in s:\n"
+               "        out.append(v)\n"
+               "    return out\n")
+        assert rule_ids(src) == ["DET004"]
+
+    def test_order_free_consumers_are_clean(self):
+        src = ("s = {1, 2}\n"
+               "y = sorted(s)\n"
+               "z = sum(v for v in s)\n"
+               "for v in sorted(s):\n"
+               "    print(v)\n"
+               "m = min([v for v in s])\n")
+        assert rule_ids(src) == []
+
+
+class TestDET005UnorderedPool:
+    def test_imap_unordered_fires(self):
+        src = "def f(pool, xs):\n    return list(pool.imap_unordered(str, xs))\n"
+        assert rule_ids(src) == ["DET005"]
+
+    def test_as_completed_fires(self):
+        src = ("from concurrent.futures import as_completed\n"
+               "def f(futs):\n"
+               "    return [x.result() for x in as_completed(futs)]\n")
+        assert rule_ids(src) == ["DET005"]
+
+    def test_fork_map_is_the_sanctioned_fanout(self):
+        src = ("from repro.parallel import fork_map\n"
+               "def g(x):\n"
+               "    return x\n"
+               "r = fork_map(g, [1], workers=2)\n")
+        assert rule_ids(src) == []
+
+
+class TestENG001ViewPrivateAccess:
+    def test_private_view_attribute_fires(self):
+        src = "def decide(self, view, n):\n    return view._ball\n"
+        assert rule_ids(src) == ["ENG001"]
+
+    def test_public_view_api_is_clean(self):
+        src = "def decide(self, view, n):\n    return view.ball(1)\n"
+        assert rule_ids(src) == []
+
+    def test_other_params_are_not_views(self):
+        src = "def helper(state):\n    return state._cache\n"
+        assert rule_ids(src) == []
+
+
+class TestENG002BatchCacheReset:
+    def test_cache_not_reset_in_setup_fires(self):
+        src = ("class A:\n"
+               "    def setup(self, graph, n):\n"
+               "        self._cache = None\n"
+               "    def decide_batch(self, views, live, t):\n"
+               "        self._other = 1\n")
+        assert rule_ids(src) == ["ENG002"]
+
+    def test_cache_reset_in_setup_is_clean(self):
+        src = ("class A:\n"
+               "    def setup(self, graph, n):\n"
+               "        self._cache = None\n"
+               "    def decide_batch(self, views, live, t):\n"
+               "        self._cache = 2\n")
+        assert rule_ids(src) == []
+
+    def test_non_batched_classes_are_exempt(self):
+        src = ("class B:\n"
+               "    def work(self):\n"
+               "        self._memo = {}\n")
+        assert rule_ids(src) == []
+
+
+class TestPAR001ForkMapClosure:
+    def test_lambda_worker_fires(self):
+        src = ("from repro.parallel import fork_map\n"
+               "r = fork_map(lambda x: x, [1], workers=2)\n")
+        assert rule_ids(src) == ["PAR001"]
+
+    def test_nested_def_worker_fires(self):
+        src = ("from repro.parallel import fork_map\n"
+               "def run():\n"
+               "    def w(x):\n"
+               "        return x\n"
+               "    return fork_map(w, [1], workers=2)\n")
+        assert rule_ids(src) == ["PAR001"]
+
+    def test_module_level_worker_is_clean(self):
+        src = ("from repro.parallel import fork_map\n"
+               "def w(x):\n"
+               "    return x\n"
+               "def run():\n"
+               "    return fork_map(w, [1], workers=2)\n")
+        assert rule_ids(src) == []
+
+
+class TestSHM001SharedGraphWrite:
+    def test_setflags_write_true_fires(self):
+        assert rule_ids("def f(arr):\n    arr.setflags(write=True)\n") \
+            == ["SHM001"]
+
+    def test_store_into_attached_adjacency_fires(self):
+        src = ("from repro.shm import shared_graph\n"
+               "g = shared_graph('k')\n"
+               "indptr, indices = g.adjacency()\n"
+               "indptr[0] = 1\n")
+        assert rule_ids(src) == ["SHM001"]
+
+    def test_sealing_readonly_is_the_sanctioned_direction(self):
+        src = ("def seal(view):\n"
+               "    view.flags.writeable = False\n"
+               "    view.setflags(write=False)\n"
+               "    return view\n")
+        assert rule_ids(src) == []
+
+    def test_local_graph_stores_are_untracked(self):
+        src = ("def f(graph):\n"
+               "    indptr, indices = graph.adjacency()\n"
+               "    return indptr[0]\n")
+        assert rule_ids(src) == []
+
+
+class TestFramework:
+    def test_suppression_with_reason_silences(self):
+        src = "import random\nx = random.randint(1, 2)  # lint: allow(DET001) fuzz helper\n"
+        assert rule_ids(src) == []
+
+    def test_standalone_suppression_covers_next_line(self):
+        src = ("import random\n"
+               "# lint: allow(DET001) fuzz helper\n"
+               "x = random.randint(1, 2)\n")
+        assert rule_ids(src) == []
+
+    def test_reasonless_suppression_is_reported_and_ignored(self):
+        src = "import random\nx = random.randint(1, 2)  # lint: allow(DET001)\n"
+        assert sorted(rule_ids(src)) == ["DET001", BAD_SUPPRESSION_RULE]
+
+    def test_syntax_error_becomes_lint001(self):
+        findings = analyze_source("def f(:\n", SRC)
+        assert [f.rule for f in findings] == [PARSE_ERROR_RULE]
+
+    def test_benchmark_severity_is_relaxed(self):
+        findings = analyze_source("import random\nx = random.randint(1, 2)\n",
+                                  "benchmarks/bench_x.py")
+        assert [(f.rule, f.severity) for f in findings] \
+            == [("DET001", "warning")]
+
+    def test_harness_may_read_the_clock(self):
+        assert rule_ids("import time\nt = time.time()\n",
+                        "benchmarks/harness.py") == []
+        # the exemption is exactly that file, not the directory
+        assert rule_ids("import time\nt = time.time()\n",
+                        "benchmarks/bench_x.py") == ["DET003"]
+
+    def test_severity_resolution_prefers_longest_prefix(self):
+        assert severity_for("benchmarks/harness.py", "DET003", "error") == "off"
+        assert severity_for("benchmarks/bench_x.py", "DET001", "error") \
+            == "warning"
+        assert severity_for("src/repro/x.py", "DET001", "error") == "error"
+
+
+class TestBaseline:
+    def test_round_trip_and_split(self, tmp_path):
+        finding = Finding("src/repro/x.py", 12, 0, "DET004", "error", "msg")
+        other = Finding("src/repro/y.py", 3, 0, "DET001", "error", "msg")
+        path = tmp_path / "baseline.json"
+        path.write_text(render_baseline([finding], reason="order-free sink"))
+        baseline = load_baseline(str(path))
+        active, matched, stale = split_findings([finding, other], baseline)
+        assert active == [other]
+        assert matched == [(finding, "order-free sink")]
+        assert stale == []
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "findings": [
+            {"file": "src/gone.py", "rule": "DET001", "line": 1,
+             "reason": "was intentional"},
+        ]}))
+        _, _, stale = split_findings([], load_baseline(str(path)))
+        assert stale == [("src/gone.py", "DET001", 1)]
+
+    def test_reasonless_entries_are_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "findings": [
+            {"file": "a.py", "rule": "DET001", "line": 1, "reason": "  "},
+        ]}))
+        with pytest.raises(BaselineError, match="reason"):
+            load_baseline(str(path))
+
+
+def _write_fixture_tree(root):
+    pkg = root / "src"
+    pkg.mkdir()
+    (pkg / "dirty.py").write_text(
+        "import random\nx = random.randint(1, 2)\n")
+    (pkg / "clean.py").write_text("VALUE = 3\n")
+    return pkg
+
+
+class TestRunner:
+    def test_collect_files_is_sorted_and_recursive(self, tmp_path):
+        _write_fixture_tree(tmp_path)
+        pairs = collect_files(["src"], root=str(tmp_path))
+        assert [display for _, display in pairs] \
+            == ["src/clean.py", "src/dirty.py"]
+
+    def test_run_lint_with_baseline(self, tmp_path):
+        _write_fixture_tree(tmp_path)
+        report = run_lint(["src"], root=str(tmp_path))
+        assert report.summary()["errors"] == 1 and report.exit_code == 1
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(render_baseline(
+            report.findings, reason="fixture: known dirty file"))
+        rebaselined = run_lint(["src"], root=str(tmp_path),
+                               baseline_path=str(baseline))
+        assert rebaselined.findings == [] and rebaselined.exit_code == 0
+        assert [r for _, r in rebaselined.baselined] \
+            == ["fixture: known dirty file"]
+
+    def test_jobs_do_not_change_the_report(self, tmp_path):
+        _write_fixture_tree(tmp_path)
+        one = run_lint(["src"], jobs=1, root=str(tmp_path))
+        four = run_lint(["src"], jobs=4, root=str(tmp_path))
+        assert one.to_json() == four.to_json()
+
+
+def _run_cli(*args, cwd=REPO):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd, env=env, capture_output=True, text=True,
+    )
+
+
+class TestCLI:
+    def test_repo_is_clean(self):
+        proc = _run_cli("src", "tests", "benchmarks")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 errors" in proc.stdout
+
+    def test_json_identical_across_jobs(self):
+        one = _run_cli("src", "tests", "benchmarks", "--format", "json",
+                       "--jobs", "1")
+        four = _run_cli("src", "tests", "benchmarks", "--format", "json",
+                        "--jobs", "4")
+        assert one.returncode == 0 and four.returncode == 0
+        assert one.stdout == four.stdout
+        payload = json.loads(one.stdout)
+        assert payload["summary"]["errors"] == 0
+
+    def test_findings_set_exit_code(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        proc = _run_cli(str(bad))
+        assert proc.returncode == 1
+        assert "DET001" in proc.stdout
+
+    def test_list_rules(self):
+        proc = _run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("DET001", "DET004", "ENG002", "PAR001", "SHM001"):
+            assert rule_id in proc.stdout

@@ -18,7 +18,9 @@ from repro.parallel import fork_map
 from repro.shm import (
     MAX_ALPHABET,
     SharedGraphPool,
+    _attach_untracked,
     _encode_inputs,
+    attach_graph,
     shared_graph,
     worker_attach_specs,
     worker_detach,
@@ -229,3 +231,52 @@ class TestGraphArrayConstructors:
                 memoryview(indptr).cast("B"),
                 memoryview(indices).cast("B"),
             )
+
+
+class TestReadOnlyAttach:
+    """Runtime twin of lint rule SHM001: attached graphs are sealed.
+
+    A segment is mapped by every sibling worker, so a store through an
+    attached graph would race all of them; ``attach_graph`` /
+    ``Graph.from_csr_buffers`` seal their views read-only at the buffer
+    level so such a write raises instead of corrupting shared state.
+    """
+
+    def test_attached_graph_rejects_writes(self):
+        g = get_family("random_tree").instance(80, 1, 0)
+        g = g.with_inputs(["A" if v % 3 else "W" for v in range(g.n)])
+        with SharedGraphPool() as pool:
+            spec = pool.publish("ro", g)
+            shm = _attach_untracked(spec.shm_name)
+            try:
+                attached = attach_graph(spec, shm)
+                indptr, indices = attached.adjacency()
+                try:
+                    with pytest.raises(TypeError):
+                        indptr[0] = 1  # lint: allow(SHM001) proving the seal rejects this write
+                    with pytest.raises(TypeError):
+                        indices[0] = 1  # lint: allow(SHM001) proving the seal rejects this write
+                    with pytest.raises(TypeError):
+                        attached._inputs._codes[0] = 1
+                    # reads are untouched by the seal
+                    assert _graphs_equal(g, attached)
+                finally:
+                    # drop the graph's exported views so the segment can
+                    # actually close (same ordering worker_detach relies on)
+                    del indptr, indices, attached
+            finally:
+                shm.close()
+
+    def test_from_csr_buffers_seals_writable_sources(self):
+        g = path_graph(6)
+        indptr, indices = g.adjacency()
+        attached = Graph.from_csr_buffers(
+            g.n, g.m,
+            bytearray(memoryview(indptr).cast("B")),
+            bytearray(memoryview(indices).cast("B")),
+        )
+        ip, ix = attached.adjacency()
+        with pytest.raises(TypeError):
+            ip[0] = 99  # lint: allow(SHM001) proving the seal rejects this write
+        with pytest.raises(TypeError):
+            ix[0] = 99  # lint: allow(SHM001) proving the seal rejects this write
