@@ -1,0 +1,72 @@
+"""Content-addressed store — warm incremental rerun vs. cold compute.
+
+The store's reason to exist: sweeps are build-once/query-many, so a
+rerun over already-computed units should cost file reads, not
+simulation.  One ``random_tree`` instance at n = 100_000, two ID
+samples, ``rake_layering``, ``workers=1`` (the store partitions above
+the fan-out, so one worker isolates the cache effect):
+
+* **cold** — empty store: every unit simulates, results written back;
+* **warm** — same sweep again: every unit served from the store;
+* **none** — store disabled: the baseline recompute.
+
+The gate asserts the warm rerun is at least 5x faster than the cold
+run, and — unconditionally — that all three JSON payloads are
+byte-identical: the store is an optimisation, never a semantic switch.
+"""
+
+import shutil
+import tempfile
+
+from harness import record_table, timed
+
+from repro.sweep import SweepRunner
+
+FAMILY = "random_tree"
+N = 100_000
+SAMPLES = 2
+ALGORITHM = "rake_layering"
+SEED = 0
+MIN_SPEEDUP = 5.0
+
+
+def run_sweep(store) -> str:
+    runner = SweepRunner(workers=1, samples=SAMPLES, instances=1,
+                         store=store)
+    return runner.run_json([FAMILY], [N], [ALGORITHM], seed=SEED)
+
+
+def test_store_incremental_speedup():
+    root = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        json_cold, wall_cold, _ = timed(run_sweep, root)
+        json_warm, wall_warm, _ = timed(run_sweep, root)
+        json_none, wall_none, _ = timed(run_sweep, None)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    speedup = wall_cold / wall_warm
+
+    record_table(
+        "store_incremental",
+        f"Incremental store rerun: {FAMILY}(n={N}), {SAMPLES} samples, "
+        f"{ALGORITHM}",
+        ["store", "wall_s", "speedup_vs_cold"],
+        [
+            ("cold", f"{wall_cold:.3f}", "1.0"),
+            ("warm", f"{wall_warm:.3f}", f"{speedup:.1f}"),
+            ("none", f"{wall_none:.3f}",
+             f"{wall_cold / max(wall_none, 1e-9):.1f}"),
+        ],
+        notes=[
+            "payloads byte-identical across cold/warm/none (asserted)",
+            f"gate: warm >= {MIN_SPEEDUP}x faster than cold (asserted)",
+        ],
+    )
+
+    assert json_cold == json_warm == json_none, (
+        "store changed the payload bytes"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm rerun only {speedup:.1f}x faster than cold "
+        f"(gate: {MIN_SPEEDUP}x)"
+    )

@@ -63,12 +63,16 @@ def record_table(
     ``notes`` are free-form footer lines (environment, engine, caveats)
     appended below the table.
     """
+    from repro.store import atomic_write_text
+
     text = format_table(title, header, rows)
     if notes:
         text += "\n" + "\n".join(notes)
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{exp_id}.txt"), "w") as fh:
-        fh.write(text + "\n")
+    # atomic: a bench killed mid-write leaves the previous complete
+    # results file (or none), never a truncated table
+    atomic_write_text(os.path.join(RESULTS_DIR, f"{exp_id}.txt"),
+                      text + "\n")
     print("\n" + text)
     return text
 

@@ -8,6 +8,12 @@ Lists the E1..E18 experiments and how to regenerate each table::
 Tables are produced by ``pytest benchmarks/ --benchmark-only`` and stored
 under ``benchmarks/results/``; this module is a convenience viewer that
 also works from an installed package checkout.
+
+``--dump-index PATH`` writes the experiment index (plus which recorded
+tables currently exist) as canonical JSON — atomically, through
+:func:`repro.store.atomic_write_json`, like every persisted artifact in
+this repo.  For stored sweep/census results, query
+``python -m repro.serve`` instead.
 """
 
 from __future__ import annotations
@@ -58,7 +64,35 @@ def results_dir() -> str:
     return candidates[0]
 
 
+def dump_index(path: str) -> Dict:
+    """Write the experiment index as canonical JSON (atomically) and
+    return the payload: every experiment id/description plus the
+    recorded-table files that currently exist for it."""
+    from .store import atomic_write_json
+
+    rdir = results_dir()
+    recorded = sorted(os.listdir(rdir)) if os.path.isdir(rdir) else []
+    payload = {
+        "experiments": [
+            {
+                "id": key,
+                "description": desc,
+                "recorded": sorted(
+                    f for f in recorded if f.startswith(key)
+                ),
+            }
+            for key, desc in EXPERIMENTS.items()
+        ],
+    }
+    atomic_write_json(path, payload)
+    return payload
+
+
 def main(argv) -> int:
+    if len(argv) >= 3 and argv[1] == "--dump-index":
+        payload = dump_index(argv[2])
+        print(f"wrote {argv[2]}: {len(payload['experiments'])} experiments")
+        return 0
     if len(argv) < 2:
         print("Experiments (regenerate with: pytest benchmarks/ --benchmark-only)\n")
         for key, desc in EXPERIMENTS.items():

@@ -52,6 +52,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 from ..analysis.landscape import regions_for_verdict
 from ..lcl.blackwhite import BLACK, WHITE, BlackWhiteLCL
 from ..parallel import fork_map, stable_digest
+from ..store import ResultStore, StoreKey, as_store, atomic_write_text
 from .decider import decide_node_averaged_class
 from .problems import all_equal, edge_2coloring, edge_3coloring, free_labeling
 
@@ -62,6 +63,8 @@ __all__ = [
     "canonical_encoding",
     "spec_to_problem",
     "spec_from_problem",
+    "decide_encoding",
+    "verdict_key",
     "CrossCheck",
     "CROSS_CHECKS",
     "classify_growth",
@@ -234,18 +237,80 @@ def enumerate_space(
 
 
 # ----------------------------------------------------------------------
-# deciding (the fanned-out worker)
+# deciding (the fanned-out worker) and the verdict store
 # ----------------------------------------------------------------------
+def decide_encoding(
+    encoding: Encoding, ell: int = 2, max_functions: int = 4096,
+):
+    """Decide one canonical problem from its encoding: rebuild the
+    problem and run the Theorem-7 procedure.  Shared by the census
+    workers and :mod:`repro.serve` (``classify --build``)."""
+    problem = spec_to_problem(_decode(encoding))
+    return decide_node_averaged_class(
+        problem, delta=encoding[2], ell=ell, max_functions=max_functions,
+    )
+
+
+def verdict_key(
+    store: ResultStore, encoding: Encoding, ell: int, max_functions: int,
+) -> StoreKey:
+    """The content address of one census verdict — the canonical problem
+    form plus every decider parameter the verdict depends on.  Shared
+    with :mod:`repro.serve`, which must reconstruct exactly these keys
+    to answer classification queries."""
+    return store.key("census-verdict", encoding, ell, max_functions)
+
+
+def _decode_verdict(payload: object) -> Optional[Tuple[str, str]]:
+    """Validate a stored verdict payload; ``None`` (→ recompute) on any
+    shape surprise."""
+    if not isinstance(payload, dict):
+        return None
+    klass, detail = payload.get("klass"), payload.get("detail")
+    if not isinstance(klass, str) or not isinstance(detail, str):
+        return None
+    return klass, detail
+
+
 def _decide_task(task: Tuple[Encoding, int, int]) -> Tuple[str, str]:
     """One canonical problem: rebuild it from its encoding inside the
     worker (nothing but tuples crosses the pool boundary — the
     :class:`SweepRunner` discipline) and decide its Theorem-7 class."""
     encoding, ell, max_functions = task
-    problem = spec_to_problem(_decode(encoding))
-    verdict = decide_node_averaged_class(
-        problem, delta=encoding[2], ell=ell, max_functions=max_functions,
-    )
+    verdict = decide_encoding(encoding, ell, max_functions)
     return verdict.klass, verdict.detail
+
+
+def _task_spec_label(task: Tuple[Encoding, int, int]) -> str:
+    return f"census decide {spec_name(task[0])}"
+
+
+def _decide_shard(
+    task: Tuple[Tuple[Encoding, ...], int, int, str, str],
+) -> List[Tuple[str, str]]:
+    """One store shard: decide every encoding in the shard, writing each
+    verdict through the store **as soon as it is decided** — the
+    checkpoint that makes a killed census resumable.  Each worker opens
+    its own :class:`ResultStore` handle (same root/salt; concurrent
+    writers are safe because every write is atomic and the shards —
+    split by canonical-form digest — never share a key)."""
+    encodings, ell, max_functions, root, salt = task
+    store = ResultStore(root, salt=salt)
+    out: List[Tuple[str, str]] = []
+    for enc in encodings:
+        verdict = decide_encoding(enc, ell, max_functions)
+        store.put(verdict_key(store, enc, ell, max_functions),
+                  verdict.to_payload())
+        out.append((verdict.klass, verdict.detail))
+    return out
+
+
+def _shard_spec_label(
+    task: Tuple[Tuple[Encoding, ...], int, int, str, str],
+) -> str:
+    encodings = task[0]
+    return (f"census shard of {len(encodings)} problem(s) "
+            f"starting {spec_name(encodings[0])}")
 
 
 # ----------------------------------------------------------------------
@@ -379,31 +444,84 @@ def run_census(
     workers: int = 1,
     max_problems: Optional[int] = None,
     cross_validate: bool = True,
+    store: object = None,
+    resume: bool = False,
+    stats_out: Optional[Dict[str, int]] = None,
 ) -> Dict:
     """Enumerate, canonicalize, decide and cross-validate the space.
 
     Returns a JSON-serializable payload that is byte-identical for every
     ``workers`` value (see :func:`census_json`).  ``max_problems``
     deterministically truncates the canonical list (recorded in the
-    spec) for smoke runs over spaces that would otherwise be too big.
+    spec) for smoke runs over spaces that would otherwise be too big —
+    the truncation is a prefix of the sorted canonical list, so a
+    truncated run's checkpoints are exactly the full run's first entries.
+
+    ``store`` (a :class:`repro.store.ResultStore`, a path, or ``None``)
+    checkpoints every verdict the moment it is decided, with workers
+    sharded by canonical-form digest so no two workers touch the same
+    key.  ``resume`` additionally reads already-decided verdicts back
+    from the store before fanning out, so a killed census continues from
+    its checkpoints instead of restarting.  The payload is byte-identical
+    with the store absent, cold, or resumed; reuse counts go into
+    ``stats_out`` (``{"reused": ..., "computed": ...}``), never into the
+    payload.
     """
     if max_labels < 1 or max_inputs < 1:
         raise ValueError("max_labels and max_inputs must be >= 1")
     if delta < 2:
         raise ValueError("delta must be >= 2")
+    store = as_store(store)
+    if resume and store is None:
+        raise ValueError("resume requires a store")
     encodings, orbit, raw = enumerate_space(max_labels, delta, max_inputs)
     truncated = False
     if max_problems is not None and len(encodings) > max_problems:
         encodings = encodings[:max_problems]
         truncated = True
 
-    tasks = [(enc, ell, max_functions) for enc in encodings]
-    decided = fork_map(_decide_task, tasks, workers)
+    decided_map: Dict[Encoding, Tuple[str, str]] = {}
+    if store is not None and resume:
+        for enc in encodings:
+            payload = store.get(verdict_key(store, enc, ell, max_functions))
+            verdict = None if payload is None else _decode_verdict(payload)
+            if verdict is not None:
+                decided_map[enc] = verdict
+    pending = [enc for enc in encodings if enc not in decided_map]
+    if stats_out is not None:
+        stats_out["reused"] = len(encodings) - len(pending)
+        stats_out["computed"] = len(pending)
+
+    if store is not None and pending:
+        # shard by canonical-form digest so concurrent workers never
+        # write the same key and a shard's checkpoints survive a kill
+        shards: Dict[int, List[Encoding]] = {}
+        for enc in pending:
+            k = verdict_key(store, enc, ell, max_functions)
+            shards.setdefault(int(k.digest, 16) % max(1, workers),
+                              []).append(enc)
+        shard_tasks = [
+            (tuple(shards[i]), ell, max_functions, store.root, store.salt)
+            for i in sorted(shards)
+        ]
+        shard_results = fork_map(_decide_shard, shard_tasks, workers,
+                                 label=_shard_spec_label)
+        for (encs, _ell, _mf, _root, _salt), results in zip(
+                shard_tasks, shard_results):
+            for enc, verdict in zip(encs, results):
+                decided_map[enc] = verdict
+    elif pending:
+        tasks = [(enc, ell, max_functions) for enc in pending]
+        decided = fork_map(_decide_task, tasks, workers,
+                           label=_task_spec_label)
+        for enc, verdict in zip(pending, decided):
+            decided_map[enc] = verdict
 
     verdicts: Dict[Encoding, str] = {}
     problems: List[Dict] = []
     counts: Dict[str, int] = {}
-    for enc, (klass, detail) in zip(encodings, decided):
+    for enc in encodings:
+        klass, detail = decided_map[enc]
         verdicts[enc] = klass
         counts[klass] = counts.get(klass, 0) + 1
         problems.append({
@@ -487,21 +605,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "problem list (smoke runs on big spaces)")
     parser.add_argument("--no-cross-validate", action="store_true",
                         help="skip the empirical witness sweeps")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="content-addressed result store directory: "
+                        "checkpoint every verdict the moment it is "
+                        "decided (workers sharded by canonical-form "
+                        "digest); the JSON payload is byte-identical "
+                        "with or without a store")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse verdicts already checkpointed in "
+                        "--store instead of recomputing them — a killed "
+                        "census continues where it stopped")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write JSON here instead of stdout")
     args = parser.parse_args(argv)
+    if args.resume and not args.store:
+        parser.error("--resume requires --store")
 
+    stats: Dict[str, int] = {}
     text = census_json(
         max_labels=args.max_labels, delta=args.delta,
         max_inputs=args.max_inputs, ell=args.ell,
         max_functions=args.max_functions, workers=args.workers,
         max_problems=args.max_problems,
         cross_validate=not args.no_cross_validate,
+        store=args.store, resume=args.resume, stats_out=stats,
     )
+    if args.store:
+        print(f"store: reused={stats['reused']} "
+              f"computed={stats['computed']}", file=sys.stderr)
     payload = json.loads(text)
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(text)
+        atomic_write_text(args.out, text)
         print(f"wrote {args.out}")
     else:
         sys.stdout.write(text)

@@ -208,6 +208,14 @@ class GapVerdict:
     def __str__(self) -> str:
         return f"{self.problem}: {self.klass} ({self.detail})"
 
+    def to_payload(self) -> dict:
+        """The store payload of this verdict: exactly the fields the
+        census atlas carries per problem — a pure function of the
+        canonical encoding and the decider parameters, so the census
+        checkpoint/resume protocol (:mod:`repro.gap.census`) can serve
+        it back byte-identically."""
+        return {"klass": self.klass, "detail": self.detail}
+
 
 def decide_node_averaged_class(
     problem: BlackWhiteLCL, delta: int = 2, ell: int = 2,

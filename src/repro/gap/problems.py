@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from ..lcl.blackwhite import BlackWhiteLCL
 
-__all__ = ["free_labeling", "all_equal", "edge_3coloring", "edge_2coloring"]
+__all__ = ["free_labeling", "all_equal", "edge_3coloring", "edge_2coloring",
+           "PROBLEMS"]
 
 _IN = ("-",)  # single dummy input label
 
@@ -52,3 +53,14 @@ def edge_3coloring() -> BlackWhiteLCL:
 def edge_2coloring() -> BlackWhiteLCL:
     """Proper edge coloring with 2 colors: Theta(n) on paths."""
     return BlackWhiteLCL("edge-2coloring", _IN, (1, 2), _proper, _proper)
+
+
+#: name → factory registry of the concrete demo problems, so CLIs
+#: (notably ``python -m repro.serve classify --problem``) can resolve
+#: them by name
+PROBLEMS = {
+    "free_labeling": free_labeling,
+    "all_equal": all_equal,
+    "edge_3coloring": edge_3coloring,
+    "edge_2coloring": edge_2coloring,
+}

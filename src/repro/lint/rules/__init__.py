@@ -23,19 +23,21 @@ from .determinism import (
     UnseededRandomRule,
     WallClockRule,
 )
+from .store import StorePayloadPurityRule
 
 __all__ = ["all_rules"]
 
 _REGISTRY: List[Type[Rule]] = [
-    UnseededRandomRule,     # DET001
-    BuiltinHashRule,        # DET002
-    WallClockRule,          # DET003
-    SetIterationRule,       # DET004
-    UnorderedPoolRule,      # DET005
-    ViewPrivateAccessRule,  # ENG001
-    BatchCacheResetRule,    # ENG002
-    ForkMapClosureRule,     # PAR001
-    SharedGraphWriteRule,   # SHM001
+    UnseededRandomRule,       # DET001
+    BuiltinHashRule,          # DET002
+    WallClockRule,            # DET003
+    SetIterationRule,         # DET004
+    UnorderedPoolRule,        # DET005
+    ViewPrivateAccessRule,    # ENG001
+    BatchCacheResetRule,      # ENG002
+    ForkMapClosureRule,       # PAR001
+    SharedGraphWriteRule,     # SHM001
+    StorePayloadPurityRule,   # STORE001
 ]
 
 

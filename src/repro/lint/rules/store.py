@@ -1,0 +1,121 @@
+"""STORE rules: persisted artifacts must be pure functions of their keys.
+
+The content-addressed store (:mod:`repro.store`) only works if a
+payload's bytes are fully determined by the values in its key: a warm
+run serves stored bytes where a cold run serializes fresh ones, and the
+two must compare equal.  Anything environmental baked into a persisted
+payload — a wall-clock timestamp, a hostname, a pid — breaks that
+byte-identity silently.  ``STORE001`` extends ``DET003``'s intent from
+in-process results to *persisted* artifacts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from ..core import Rule
+from .determinism import WallClockRule
+
+__all__ = ["StorePayloadPurityRule"]
+
+#: the writer entry points: the atomic persistence helpers plus
+#: ``<...store...>.put(...)`` (a ResultStore write)
+_WRITER_NAMES = {"atomic_write_json", "atomic_write_text"}
+
+#: environment identity sources, on top of DET003's clock/entropy set —
+#: none of these may flow into a scope that persists payloads
+_IDENTITY_SOURCES = {
+    "socket.gethostname", "socket.getfqdn",
+    "platform.node", "platform.uname",
+    "os.uname", "os.getlogin", "os.getpid", "os.getppid",
+    "getpass.getuser",
+}
+
+
+class StorePayloadPurityRule(Rule):
+    """STORE001: store payload writers must not read the environment.
+
+    A scope (module body or single function, nested defs excluded) that
+    calls a payload writer — ``atomic_write_json``/``atomic_write_text``
+    or ``.put(...)`` on a store — must not also read a wall-clock,
+    entropy or host/process-identity source: whatever those values feed,
+    they make persisted bytes depend on when/where the writer ran, and
+    a warm store read will no longer byte-match a cold recompute.  Take
+    timestamps *outside* the writer scope (or keep them out of persisted
+    payloads entirely, like the sweep's ``cache`` channel).
+    """
+
+    id = "STORE001"
+    summary = ("store/artifact writer scope reads wall-clock, entropy or "
+               "host identity; persisted payloads must be pure functions "
+               "of their keys")
+
+    _SOURCES = WallClockRule._SOURCES | _IDENTITY_SOURCES
+
+    # -- scope handling -------------------------------------------------
+    def visit_Module(self, node: ast.Module) -> None:
+        self._scope(node.body)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scope(node.body)
+        self.generic_visit(node)  # nested defs form their own scopes
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _scope(self, body: List[ast.stmt]) -> None:
+        writes = False
+        sources: List[Tuple[ast.AST, str]] = []
+        stack: List[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # separate scope
+            if isinstance(node, ast.Call) and self._is_writer(node):
+                writes = True
+            qual = self._source_qual(node)
+            if qual is not None:
+                sources.append((node, qual))
+                continue  # one report per attribute chain
+            stack.extend(ast.iter_child_nodes(node))
+        if writes:
+            for node, qual in sources:
+                self.report(
+                    node,
+                    f"{qual} read in a scope that persists payloads "
+                    "(atomic_write_*/store.put); persisted bytes must be "
+                    "pure functions of the key — hoist the environmental "
+                    "read out, or keep it out of the payload",
+                )
+
+    # -- writers and sources --------------------------------------------
+    @staticmethod
+    def _is_writer(node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _WRITER_NAMES:
+            return True
+        if isinstance(func, ast.Attribute):
+            if func.attr in _WRITER_NAMES:
+                return True
+            if func.attr == "put":
+                recv = func.value
+                name = None
+                if isinstance(recv, ast.Name):
+                    name = recv.id
+                elif isinstance(recv, ast.Attribute):
+                    name = recv.attr
+                if name is not None and "store" in name.lower():
+                    return True
+        return False
+
+    def _source_qual(self, node: ast.AST):
+        if isinstance(node, ast.Attribute):
+            qual = self.ctx.qualname(node)
+            if qual in self._SOURCES:
+                return qual
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            qual = self.ctx.from_imports.get(node.id)
+            if qual in self._SOURCES:
+                return qual
+        return None

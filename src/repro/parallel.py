@@ -17,16 +17,19 @@ count** and parallelism only changes wall-clock time.
   falling back to an in-process loop at ``workers=1`` and failing loudly
   on platforms without ``fork`` (spawn workers re-import fresh registries,
   so dynamically registered families/algorithms/problems would vanish
-  mid-run).
+  mid-run).  A task that raises surfaces as :class:`ForkTaskError`
+  naming the failing task (its label) and embedding the worker
+  traceback — not the opaque pickled traceback pools give by default.
 """
 
 from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import traceback
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["stable_seed", "stable_digest", "fork_map"]
+__all__ = ["stable_seed", "stable_digest", "fork_map", "ForkTaskError"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -50,6 +53,41 @@ def stable_digest(*parts: object, size: int = 8) -> str:
     return _digest(parts, size).hex()
 
 
+class ForkTaskError(RuntimeError):
+    """A :func:`fork_map` task raised inside a worker.
+
+    The message names the failing task — the ``label`` the caller
+    supplied, or a truncated ``repr`` of the task — and embeds the
+    worker-side traceback as text, because a pool re-raises worker
+    exceptions in the parent with the *parent's* (useless) stack.  The
+    exception pickles cleanly across the pool boundary: everything it
+    carries is in the message string.
+    """
+
+
+def _task_label(task: object, label: Optional[Callable[[object], str]]) -> str:
+    text = repr(task) if label is None else str(label(task))
+    return text if len(text) <= 200 else text[:197] + "..."
+
+
+def _call_labeled(packed: Tuple[Callable, object, str]):
+    """The actual pool worker: run one task, converting any failure into
+    a :class:`ForkTaskError` that names the task.  Module-level so it
+    pickles by reference (the PAR001 discipline applies to fork_map's
+    own internals too)."""
+    fn, task, label = packed
+    try:
+        return fn(task)
+    except ForkTaskError:
+        raise
+    except Exception as exc:
+        raise ForkTaskError(
+            f"fork_map task [{label}] failed: "
+            f"{type(exc).__name__}: {exc}\n"
+            f"--- worker traceback ---\n{traceback.format_exc().rstrip()}"
+        ) from exc
+
+
 def fork_map(
     fn: Callable[[_T], _R],
     tasks: Sequence[_T],
@@ -57,6 +95,7 @@ def fork_map(
     chunk_denominator: int = 4,
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple[object, ...] = (),
+    label: Optional[Callable[[_T], str]] = None,
 ) -> List[_R]:
     """Map ``fn`` over ``tasks`` preserving task order.
 
@@ -70,18 +109,24 @@ def fork_map(
     workers inherit the parent's registries, so dynamically registered
     families/algorithms/problems stay resolvable by name.
 
-    ``tasks`` is handed to ``pool.map`` as-is when it is already a
-    ``list``/``tuple`` (no defensive copy); other iterables are
-    materialized once.
+    A task that raises surfaces as :class:`ForkTaskError` whose message
+    names the task — ``label(task)`` when the caller supplies a labeller
+    (it runs in the parent, so it need not pickle), a truncated ``repr``
+    otherwise — and embeds the worker traceback.  The workers=1 path
+    raises the identical wrapper, so error handling is worker-count
+    independent.
+
+    ``tasks`` is materialized once if not already a ``list``/``tuple``.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if not isinstance(tasks, (list, tuple)):
         tasks = list(tasks)
+    packed = [(fn, t, _task_label(t, label)) for t in tasks]
     if workers == 1 or len(tasks) <= 1:
         if initializer is not None:
             initializer(*initargs)
-        return [fn(t) for t in tasks]
+        return [_call_labeled(p) for p in packed]
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -98,4 +143,4 @@ def fork_map(
     with ctx.Pool(
         processes=processes, initializer=initializer, initargs=initargs
     ) as pool:
-        return pool.map(fn, tasks, chunksize=chunksize)
+        return pool.map(_call_labeled, packed, chunksize=chunksize)

@@ -1,0 +1,25 @@
+"""Content-addressed result store (see :mod:`repro.store.cas`).
+
+The package namespace re-exports the whole public surface so callers
+write ``from repro.store import ResultStore, atomic_write_json``.
+"""
+
+from .cas import (
+    CODE_SALT,
+    ResultStore,
+    StoreKey,
+    as_store,
+    atomic_write_json,
+    atomic_write_text,
+    canonical_json,
+)
+
+__all__ = [
+    "CODE_SALT",
+    "ResultStore",
+    "StoreKey",
+    "as_store",
+    "atomic_write_json",
+    "atomic_write_text",
+    "canonical_json",
+]

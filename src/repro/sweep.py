@@ -63,6 +63,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from .families import FAMILIES, Family, get_family, register_family
 from .parallel import fork_map, stable_digest, stable_seed
 from .shm import SharedGraphPool, shared_graph, worker_attach_specs
+from .store import ResultStore, StoreKey, as_store, atomic_write_text
 from .local.graph import Graph
 from .local.ids import ID_MODES, id_space_size, make_ids
 from .local.metrics import ExecutionTrace
@@ -81,6 +82,7 @@ __all__ = [
     "register_algorithm",
     "get_algorithm",
     "SweepRunner",
+    "unit_key",
     "main",
 ]
 
@@ -363,6 +365,63 @@ def _run_task(
     return (graph.n, runs, valid)
 
 
+def _task_label(task: _Task) -> str:
+    """Human-readable fork_map label: names the failing sweep unit."""
+    return (f"sweep {task.family}/n={task.n}/{task.algorithm} "
+            f"instance {task.index} samples "
+            f"{task.sample_base}..{task.sample_base + task.samples - 1}")
+
+
+# ----------------------------------------------------------------------
+# the result store: one entry per (instance, algorithm) unit
+# ----------------------------------------------------------------------
+#: a sweep work unit: ``(family, n, algorithm, index)``
+_Unit = Tuple[str, int, str, int]
+
+
+def unit_key(
+    store: ResultStore,
+    family: str,
+    n: int,
+    seed: int,
+    index: int,
+    algorithm: str,
+    engine: str,
+    id_mode: str,
+    check: bool,
+    samples: int,
+) -> StoreKey:
+    """The content address of one sweep unit — every value the unit's
+    measured runs are a function of.  Shared with :mod:`repro.serve`,
+    which must reconstruct exactly these keys to answer queries."""
+    return store.key("sweep-unit", family, n, seed, index, algorithm,
+                     engine, id_mode, check, samples)
+
+
+def _encode_unit(result: Tuple[int, List, Optional[List[bool]]]) -> Dict:
+    instance_n, runs, valid = result
+    return {"n": instance_n, "runs": [list(r) for r in runs],
+            "valid": valid}
+
+
+def _decode_unit(payload: object) -> Optional[Tuple]:
+    """Validate a stored unit payload; ``None`` (→ miss, recompute) on
+    any shape surprise, so a wrong-schema entry can never poison an
+    aggregate."""
+    if not isinstance(payload, dict):
+        return None
+    instance_n, runs, valid = (payload.get("n"), payload.get("runs"),
+                               payload.get("valid"))
+    if not isinstance(instance_n, int) or not isinstance(runs, list):
+        return None
+    if not all(isinstance(r, list) and len(r) == 2 for r in runs):
+        return None
+    if valid is not None and not (
+            isinstance(valid, list) and all(isinstance(v, bool) for v in valid)):
+        return None
+    return (instance_n, [tuple(r) for r in runs], valid)
+
+
 # ----------------------------------------------------------------------
 # the runner
 # ----------------------------------------------------------------------
@@ -410,6 +469,15 @@ class SweepRunner:
         always rebuilds in the worker.  The default ``None`` resolves to
         ``workers > 1``.  The emitted payload is byte-identical either
         way — sharing is an optimisation, never a semantic switch.
+    store:
+        Content-addressed result store (a :class:`repro.store.ResultStore`,
+        a directory path, or ``None`` to disable).  With a store, every
+        ``(family, n, seed, index, algorithm, engine, id_mode, check,
+        samples)`` unit is looked up before fan-out; only misses
+        simulate (through the shm substrate as usual) and are written
+        back.  The JSON aggregates are **byte-identical whether the
+        store is cold, warm or disabled, at any worker count** — hit and
+        miss counts live in :attr:`last_cache`, never in the payload.
     """
 
     def __init__(
@@ -421,6 +489,7 @@ class SweepRunner:
         id_mode: str = "random",
         check: bool = True,
         shared: Optional[bool] = None,
+        store: Union[None, str, ResultStore] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -441,6 +510,11 @@ class SweepRunner:
         self.id_mode = id_mode
         self.check = check
         self.shared = workers > 1 if shared is None else bool(shared)
+        self.store = as_store(store)
+        #: after each :meth:`run`: ``{"hits": ..., "misses": ...}`` when
+        #: a store is wired, ``None`` otherwise — deliberately outside
+        #: the payload so cold/warm/disabled runs emit identical bytes
+        self.last_cache: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     def run(
@@ -467,21 +541,64 @@ class SweepRunner:
         if not family_names or not sizes or not algorithms:
             raise ValueError("families, sizes and algorithms must be non-empty")
 
-        pool = SharedGraphPool() if self.shared else None
-        try:
-            tasks, cells = self._build_tasks(
-                family_names, sizes, algorithms, seed, pool
+        counts = {
+            name: self.instances or get_family(name).default_count
+            for name in family_names
+        }
+        cells: List[Tuple[str, int, str]] = []
+        units: List[_Unit] = []
+        for name in family_names:
+            for n in sizes:
+                for algo in algorithms:
+                    cells.append((name, n, algo))
+                    for index in range(counts[name]):
+                        units.append((name, n, algo, index))
+        if len(set(cells)) != len(cells):
+            raise ValueError(
+                "duplicate (family, n, algorithm) cells — repeated "
+                "entries in families/sizes/algorithms would "
+                "double-count runs"
             )
-            if len(set(cells)) != len(cells):
-                raise ValueError(
-                    "duplicate (family, n, algorithm) cells — repeated "
-                    "entries in families/sizes/algorithms would "
-                    "double-count runs"
-                )
-            results = self._map(tasks, pool)
-        finally:
-            if pool is not None:
-                pool.close()
+
+        # partition into store hits and misses; only misses simulate
+        unit_results: Dict[_Unit, Tuple] = {}
+        if self.store is not None:
+            for u in units:
+                payload = self.store.get(self._unit_key(u, seed))
+                decoded = None if payload is None else _decode_unit(payload)
+                if decoded is not None:
+                    unit_results[u] = decoded
+        miss_units = [u for u in units if u not in unit_results]
+        self.last_cache = None if self.store is None else {
+            "hits": len(units) - len(miss_units),
+            "misses": len(miss_units),
+        }
+
+        if miss_units:
+            pool = SharedGraphPool() if self.shared else None
+            try:
+                tasks = self._build_tasks(miss_units, seed, pool)
+                results = self._map(tasks, pool)
+            finally:
+                if pool is not None:
+                    pool.close()
+            # re-assemble sample chunks per unit (tasks are emitted in
+            # sample_base-ascending order per unit, zip preserves it)
+            fresh: Dict[_Unit, List] = {}
+            for task, (instance_n, runs, valid) in zip(tasks, results):
+                u = (task.family, task.n, task.algorithm, task.index)
+                entry = fresh.setdefault(u, [instance_n, [], []])
+                entry[1].extend(runs)
+                if valid is None:
+                    entry[2] = None
+                elif entry[2] is not None:
+                    entry[2].extend(valid)
+            for u in miss_units:
+                instance_n, runs, valid = fresh[u]
+                unit_results[u] = (instance_n, runs, valid)
+                if self.store is not None:
+                    self.store.put(self._unit_key(u, seed),
+                                   _encode_unit((instance_n, runs, valid)))
 
         per_cell: Dict[Tuple[str, int, str], List[Tuple[float, int]]] = {
             cell: [] for cell in cells
@@ -492,8 +609,10 @@ class SweepRunner:
         cell_valid: Dict[Tuple[str, int, str], Optional[List[bool]]] = {
             cell: [] for cell in cells
         }
-        for task, (instance_n, runs, valid) in zip(tasks, results):
-            key = (task.family, task.n, task.algorithm)
+        for u in units:
+            name, n, algo, _index = u
+            instance_n, runs, valid = unit_results[u]
+            key = (name, n, algo)
             per_cell[key].extend(runs)
             cell_sizes[key].append(instance_n)
             if valid is None:
@@ -564,15 +683,18 @@ class SweepRunner:
         return json.dumps(payload, sort_keys=True, indent=2) + "\n"
 
     # ------------------------------------------------------------------
+    def _unit_key(self, unit: _Unit, seed: int) -> StoreKey:
+        name, n, algo, index = unit
+        return unit_key(self.store, name, n, seed, index, algo,
+                        self.engine, self.id_mode, self.check, self.samples)
+
     def _build_tasks(
         self,
-        family_names: Sequence[str],
-        sizes: Sequence[int],
-        algorithms: Sequence[str],
+        units: Sequence[_Unit],
         seed: int,
         pool: Optional[SharedGraphPool],
-    ) -> Tuple[List[_Task], List[Tuple[str, int, str]]]:
-        """The task list plus the (family, n, algorithm) cell order.
+    ) -> List[_Task]:
+        """The task list for the units that actually need simulating.
 
         With a pool, every unique instance is built once here and
         published; tasks then carry only its digest key.  When the sweep
@@ -580,49 +702,37 @@ class SweepRunner:
         id mode draws per-sample assignments, units are further split
         across contiguous sample ranges — chunking never changes the
         per-cell run order (index-ascending, then sample-ascending), so
-        aggregates stay byte-identical at every worker count and with
-        sharing on or off.
+        aggregates stay byte-identical at every worker count, with
+        sharing on or off, and with the store cold or warm.
         """
-        counts = {
-            name: self.instances or get_family(name).default_count
-            for name in family_names
-        }
-        units = sum(counts[name] for name in family_names) \
-            * len(sizes) * len(algorithms)
         deterministic = ID_MODES[self.id_mode].deterministic
         parts = 1
-        if pool is not None and not deterministic and units < 2 * self.workers:
-            parts = min(self.samples, -(-2 * self.workers // units))
+        if (pool is not None and not deterministic
+                and len(units) < 2 * self.workers):
+            parts = min(self.samples, -(-2 * self.workers // len(units)))
         chunks = _sample_chunks(self.samples, parts)
 
         tasks: List[_Task] = []
-        cells: List[Tuple[str, int, str]] = []
         graph_keys: Dict[Tuple[str, int, int], Optional[str]] = {}
-        for name in family_names:
-            for n in sizes:
-                for algo in algorithms:
-                    cells.append((name, n, algo))
-                    for index in range(counts[name]):
-                        key = None
-                        if pool is not None:
-                            gk = (name, n, index)
-                            if gk not in graph_keys:
-                                graph_keys[gk] = self._publish(
-                                    pool, name, n, seed, index
-                                )
-                            key = graph_keys[gk]
-                        task_chunks = chunks
-                        if key is None or deterministic:
-                            task_chunks = ((0, self.samples),)
-                        for base, count in task_chunks:
-                            tasks.append(_Task(
-                                family=name, n=n, index=index,
-                                algorithm=algo, samples=count, seed=seed,
-                                engine=self.engine, id_mode=self.id_mode,
-                                check=self.check, graph_key=key,
-                                sample_base=base,
-                            ))
-        return tasks, cells
+        for (name, n, algo, index) in units:
+            key = None
+            if pool is not None:
+                gk = (name, n, index)
+                if gk not in graph_keys:
+                    graph_keys[gk] = self._publish(pool, name, n, seed, index)
+                key = graph_keys[gk]
+            task_chunks = chunks
+            if key is None or deterministic:
+                task_chunks = ((0, self.samples),)
+            for base, count in task_chunks:
+                tasks.append(_Task(
+                    family=name, n=n, index=index,
+                    algorithm=algo, samples=count, seed=seed,
+                    engine=self.engine, id_mode=self.id_mode,
+                    check=self.check, graph_key=key,
+                    sample_base=base,
+                ))
+        return tasks
 
     @staticmethod
     def _publish(
@@ -641,10 +751,12 @@ class SweepRunner:
         self, tasks: List[_Task], pool: Optional[SharedGraphPool] = None
     ) -> List[Tuple[int, List[Tuple[float, int]], Optional[List[bool]]]]:
         if pool is None or len(pool) == 0:
-            return fork_map(_run_task, tasks, self.workers)
+            return fork_map(_run_task, tasks, self.workers,
+                            label=_task_label)
         return fork_map(
             _run_task, tasks, self.workers,
             initializer=worker_attach_specs, initargs=(pool.specs(),),
+            label=_task_label,
         )
 
 
@@ -710,6 +822,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "algorithm's declared LCL and exit nonzero on any "
                         "violation; without the flag no verification runs "
                         "and cells report validity: null")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="content-addressed result store directory: "
+                        "look every sweep unit up before simulating and "
+                        "write misses back, so reruns are incremental; "
+                        "the JSON payload is byte-identical with the "
+                        "store cold, warm or absent")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write JSON here instead of stdout")
     args = parser.parse_args(argv)
@@ -722,13 +840,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers, samples=args.samples,
         instances=args.instances, engine=args.engine,
         id_mode=args.id_mode, check=args.check, shared=args.shm,
+        store=args.store,
     )
     text = runner.run_json(families, args.sizes, args.algorithms, args.seed)
+    if runner.last_cache is not None:
+        print(f"store: hits={runner.last_cache['hits']} "
+              f"misses={runner.last_cache['misses']}", file=sys.stderr)
     payload = json.loads(text)
     cells = payload["cells"]
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(text)
+        atomic_write_text(args.out, text)
         sup = max(c["node_averaged"]["max"] for c in cells)
         print(f"wrote {args.out}: {len(cells)} cells, "
               f"family-sup node-averaged = {sup:.2f}")

@@ -226,6 +226,67 @@ class TestSHM001SharedGraphWrite:
         assert rule_ids(src) == []
 
 
+class TestSTORE001StorePayloadPurity:
+    def test_timestamp_in_writer_scope_fires(self):
+        src = ("import time\n"
+               "from repro.store import atomic_write_json\n"
+               "def save(path, payload):\n"
+               "    payload['written_at'] = time.time()\n"
+               "    atomic_write_json(path, payload)\n")
+        # DET003 flags the clock read itself; STORE001 flags it reaching
+        # a persisted payload
+        assert rule_ids(src) == ["DET003", "STORE001"]
+
+    def test_hostname_near_store_put_fires(self):
+        src = ("import socket\n"
+               "def checkpoint(store, key, payload):\n"
+               "    payload['host'] = socket.gethostname()\n"
+               "    store.put(key, payload)\n")
+        assert rule_ids(src) == ["STORE001"]
+
+    def test_pid_near_attribute_store_fires(self):
+        src = ("import os\n"
+               "def save(self, key, payload):\n"
+               "    payload['pid'] = os.getpid()\n"
+               "    self.store.put(key, payload)\n")
+        assert rule_ids(src) == ["STORE001"]
+
+    def test_from_import_source_fires(self):
+        src = ("from time import time\n"
+               "from repro.store import atomic_write_text\n"
+               "def save(path):\n"
+               "    atomic_write_text(path, str(time()))\n")
+        assert rule_ids(src) == ["DET003", "STORE001"]
+
+    def test_pure_writer_is_clean(self):
+        src = ("from repro.store import atomic_write_json\n"
+               "def save(path, payload):\n"
+               "    atomic_write_json(path, payload)\n")
+        assert rule_ids(src) == []
+
+    def test_clock_outside_writer_scope_is_clean(self):
+        # timing in one function, persistence in another: the DET003
+        # exemption story (harness.timed) stays expressible
+        src = ("import time\n"
+               "from repro.store import atomic_write_json\n"
+               "def measure():\n"
+               "    return time.perf_counter()\n"
+               "def save(path, payload):\n"
+               "    atomic_write_json(path, payload)\n")
+        # DET003 still fires on the clock read; STORE001 must not
+        assert rule_ids(src) == ["DET003"]
+
+    def test_put_on_non_store_receiver_is_clean(self):
+        src = ("import time\n"
+               "def f(queue):\n"
+               "    queue.put(time.monotonic())\n")
+        assert rule_ids(src) == ["DET003"]
+
+    def test_benchmarks_severity_is_warning(self):
+        assert severity_for("benchmarks/bench_x.py", "STORE001",
+                            "error") == "warning"
+
+
 class TestFramework:
     def test_suppression_with_reason_silences(self):
         src = "import random\nx = random.randint(1, 2)  # lint: allow(DET001) fuzz helper\n"
