@@ -62,9 +62,16 @@ def record_table(
 
     ``notes`` are free-form footer lines (environment, engine, caveats)
     appended below the table.
-    """
-    from repro.store import atomic_write_text
 
+    Besides the human-readable ``results/<exp_id>.txt``, the same table
+    lands machine-readably in ``results/<exp_id>.json`` (exp_id, title,
+    header, stringified rows, notes) — the perf trajectory artifact:
+    successive regenerations of an experiment can be diffed or plotted
+    without re-parsing the text rendering.
+    """
+    from repro.store import atomic_write_json, atomic_write_text
+
+    rows = [tuple(str(c) for c in row) for row in rows]
     text = format_table(title, header, rows)
     if notes:
         text += "\n" + "\n".join(notes)
@@ -73,6 +80,13 @@ def record_table(
     # results file (or none), never a truncated table
     atomic_write_text(os.path.join(RESULTS_DIR, f"{exp_id}.txt"),
                       text + "\n")
+    atomic_write_json(os.path.join(RESULTS_DIR, f"{exp_id}.json"), {
+        "exp_id": exp_id,
+        "title": title,
+        "header": [str(h) for h in header],
+        "rows": [list(row) for row in rows],
+        "notes": [str(n) for n in (notes or [])],
+    })
     print("\n" + text)
     return text
 

@@ -1,0 +1,604 @@
+"""Partition-refinement canonical forms and orderly enumeration for the
+problem-space census.
+
+The census's original combinatorial core brute-forced all
+``n_in! * n_out! * 2`` symmetry transforms per problem (rebuilding nested
+tuples for each) and materialized every ``(white, black)`` subset pair of
+the space before deduplicating by collision counting.  This module
+replaces both halves with a canonical-first pipeline:
+
+* **Masked canonical forms** (:func:`canonical_encoding`) — a spec's
+  constraint sets are packed into bit masks over the tuple-lex-ranked
+  multiset list of its ``(n_in, n_out, delta)`` signature, the symmetry
+  group acts through precomputed rank-permutation tables
+  (:class:`CanonicalContext`), and the lexicographically least orbit
+  member is found by an early-abort scan.  The output is pinned
+  observationally identical to the legacy brute force — kept as
+  :func:`legacy_canonical_encoding`, the differential oracle — by the
+  property tests (the entire max-labels-2 space plus randomized
+  transform fuzzing).
+* **Partition refinement** (:func:`refine_partition`) — input and output
+  label classes are refined by iterated incidence signatures over the
+  allowed multisets.  Any spec automorphism must respect the refined
+  cells, so stabilizer searches collapse from the full permutation group
+  to the (usually trivial) stuck-cell group
+  (:func:`stabilizer_order`), and orbit sizes come from
+  orbit--stabilizer — ``group order / stabilizer order``
+  (:func:`orbit_size`) — instead of collision counting.  For tiny
+  groups a direct table scan is cheaper than refining, so
+  :func:`stabilizer_order` switches to the stuck-cell search once the
+  full group outgrows the refinement overhead (``force_refinement``
+  pins both paths equal in the tests).
+* **Orderly enumeration** (:func:`iter_space`) — walk every spec of the
+  bounded space in canonical order and emit exactly the specs that are
+  their own canonical form: one representative per orbit, emitted
+  already sorted, with O(tables) streaming memory instead of a
+  materialized space.  Rejection is the early-abort canonicity test
+  (:meth:`CanonicalContext.is_canonical`): any transform producing a
+  lexicographically smaller image disqualifies the spec.
+
+:mod:`repro.gap.census` builds on this module and re-exports the shared
+types (:class:`ProblemSpec`, :data:`Multiset`, :data:`Encoding`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from math import factorial
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "Multiset",
+    "Encoding",
+    "ProblemSpec",
+    "enumerate_multisets",
+    "CanonicalContext",
+    "get_context",
+    "mask_less",
+    "canonical_encoding",
+    "legacy_canonical_encoding",
+    "refine_partition",
+    "stuck_cell_perms",
+    "stabilizer_order",
+    "orbit_size",
+    "iter_space",
+]
+
+#: a constraint multiset: the sorted tuple of (input-index, output-index)
+#: pairs incident to one node
+Multiset = Tuple[Tuple[int, int], ...]
+
+Encoding = Tuple  # nested-tuple canonical encoding of a ProblemSpec
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """An extensional black-white LCL: the allowed pair multisets per
+    colour, over index alphabets ``0..n_in-1`` / ``0..n_out-1`` and node
+    degrees ``1..delta``."""
+
+    n_in: int
+    n_out: int
+    delta: int
+    white: FrozenSet[Multiset]
+    black: FrozenSet[Multiset]
+
+    def encode(self) -> Encoding:
+        """A deterministic nested-tuple encoding (sortable, picklable)."""
+        return (
+            self.n_in, self.n_out, self.delta,
+            tuple(sorted(self.white)), tuple(sorted(self.black)),
+        )
+
+
+#: (n_in, n_out, delta) -> multiset list; the list is recomputed in hot
+#: loops (enumeration, spec_to_problem probing, spec_from_problem) so it
+#: is memoized once per alphabet signature and returned immutable
+_MULTISETS: Dict[Tuple[int, int, int], Tuple[Multiset, ...]] = {}
+
+
+def enumerate_multisets(
+    n_in: int, n_out: int, delta: int,
+) -> Tuple[Multiset, ...]:
+    """All pair multisets of sizes ``1..delta`` in deterministic
+    (size-major) order; memoized per ``(n_in, n_out, delta)``."""
+    key = (n_in, n_out, delta)
+    cached = _MULTISETS.get(key)
+    if cached is None:
+        pairs = [(i, o) for i in range(n_in) for o in range(n_out)]
+        out: List[Multiset] = []
+        for size in range(1, delta + 1):
+            out.extend(itertools.combinations_with_replacement(pairs, size))
+        cached = _MULTISETS[key] = tuple(out)
+    return cached
+
+
+def mask_less(a: int, b: int) -> bool:
+    """Sorted-tuple-lex order on rank *sets* encoded as bit masks.
+
+    With bit ``r`` standing for the rank-``r`` multiset, the sorted tuple
+    of a mask's ranks compares exactly like the sorted tuple of its
+    multisets (ranks are assigned in tuple-lex order).  The comparison
+    reduces to the lowest differing bit: whoever owns it is smaller,
+    unless the other side has nothing at or above it — then the other
+    side is a strict prefix and wins.
+    """
+    if a == b:
+        return False
+    low = (a ^ b) & -(a ^ b)
+    if a & low:
+        return (b >> low.bit_length()) != 0
+    return (a >> low.bit_length()) == 0
+
+
+def _pair_less(aw: int, ab: int, bw: int, bb: int) -> bool:
+    """``(white, black)`` mask pairs under the encoding's lex order."""
+    if aw != bw:
+        return mask_less(aw, bw)
+    return mask_less(ab, bb)
+
+
+def _mask_bits(mask: int) -> Tuple[int, ...]:
+    bits: List[int] = []
+    while mask:
+        low = mask & -mask
+        bits.append(low.bit_length() - 1)
+        mask ^= low
+    return tuple(bits)
+
+
+#: build 2^m-entry mask-remap tables only while the total entry count
+#: stays modest; beyond it transforms apply per set bit
+_TABLE_ENTRY_BUDGET = 1 << 22
+#: below this full-group size a direct stabilizer scan beats refining
+_STUCK_SCAN_THRESHOLD = 24
+#: refuse to stream spaces whose mask range cannot be ordered in memory
+_ITER_MASK_LIMIT = 1 << 22
+
+
+class CanonicalContext:
+    """Precomputed symmetry machinery for one ``(n_in, n_out, delta)``
+    alphabet signature: the tuple-lex-ranked multiset list, every
+    input/output permutation pair as a rank permutation, and (space
+    permitting) full ``2^m`` mask-remap tables so applying a transform to
+    a constraint set is a single lookup.  Obtain instances through
+    :func:`get_context` (one per signature, cached)."""
+
+    def __init__(self, n_in: int, n_out: int, delta: int) -> None:
+        self.n_in, self.n_out, self.delta = n_in, n_out, delta
+        self.ranked: Tuple[Multiset, ...] = tuple(
+            sorted(enumerate_multisets(n_in, n_out, delta))
+        )
+        self.m = len(self.ranked)
+        self.rank_of: Dict[Multiset, int] = {
+            ms: r for r, ms in enumerate(self.ranked)
+        }
+        # every (input-perm, output-perm) pair as a rank permutation;
+        # itertools.permutations yields the identity first, so index 0 is
+        # the identity transform (asserted below)
+        self.perms: List[Tuple[int, ...]] = []
+        self.perm_index: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int] = {}
+        for pi_in in itertools.permutations(range(n_in)):
+            for pi_out in itertools.permutations(range(n_out)):
+                tau = tuple(
+                    self.rank_of[tuple(sorted(
+                        (pi_in[i], pi_out[o]) for i, o in ms
+                    ))]
+                    for ms in self.ranked
+                )
+                self.perm_index[(pi_in, pi_out)] = len(self.perms)
+                self.perms.append(tau)
+        assert self.perms[0] == tuple(range(self.m))
+        #: order of the full symmetry group (perm pairs x colour swap)
+        self.group_order = 2 * len(self.perms)
+        self.tables: Optional[List[List[int]]] = None
+        if (1 << self.m) * len(self.perms) <= _TABLE_ENTRY_BUDGET:
+            tables = []
+            for tau in self.perms:
+                bit = [1 << t for t in tau]
+                table = [0] * (1 << self.m)
+                for mask in range(1, 1 << self.m):
+                    low = mask & -mask
+                    table[mask] = table[mask ^ low] | bit[low.bit_length() - 1]
+                tables.append(table)
+            self.tables = tables
+        self._ordered_masks: Optional[Tuple[int, ...]] = None
+
+    # -- mask <-> spec plumbing ---------------------------------------
+    def mask_from_multisets(self, allowed) -> int:
+        """The bit mask of a constraint set (iterable of multisets)."""
+        mask = 0
+        for ms in allowed:
+            mask |= 1 << self.rank_of[ms]
+        return mask
+
+    def spec_masks(self, spec: ProblemSpec) -> Tuple[int, int]:
+        return (self.mask_from_multisets(spec.white),
+                self.mask_from_multisets(spec.black))
+
+    def encoding_from_masks(self, wmask: int, bmask: int) -> Encoding:
+        """The legacy-shaped nested-tuple encoding of a mask pair."""
+        # plain loops, not genexprs: this runs once per emitted canonical
+        # form and genexpr frames leave reference-cycle garbage behind,
+        # which would make the streaming enumeration's memory high-water
+        # track the space size instead of staying flat
+        ranked = self.ranked
+        white = []
+        mask = wmask
+        while mask:
+            low = mask & -mask
+            white.append(ranked[low.bit_length() - 1])
+            mask ^= low
+        black = []
+        mask = bmask
+        while mask:
+            low = mask & -mask
+            black.append(ranked[low.bit_length() - 1])
+            mask ^= low
+        return (self.n_in, self.n_out, self.delta,
+                tuple(white), tuple(black))
+
+    def apply(self, idx: int, mask: int) -> int:
+        """Apply transform ``idx`` (a rank permutation) to a mask."""
+        if self.tables is not None:
+            return self.tables[idx][mask]
+        tau = self.perms[idx]
+        out = 0
+        while mask:
+            low = mask & -mask
+            out |= 1 << tau[low.bit_length() - 1]
+            mask ^= low
+        return out
+
+    @property
+    def ordered_masks(self) -> Tuple[int, ...]:
+        """All ``2^m`` masks in the encoding's tuple-lex order — the walk
+        order of the orderly enumeration (built lazily)."""
+        if self._ordered_masks is None:
+            if (1 << self.m) > _ITER_MASK_LIMIT:
+                raise ValueError(
+                    f"cannot order {1 << self.m} masks "
+                    f"(m={self.m}); the space is too large to stream"
+                )
+            self._ordered_masks = tuple(
+                sorted(range(1 << self.m), key=_mask_bits)
+            )
+        return self._ordered_masks
+
+    # -- canonical forms ----------------------------------------------
+    def canonical_masks(self, wmask: int, bmask: int) -> Tuple[int, int]:
+        """The lex-least ``(white, black)`` mask pair over the full
+        symmetry orbit (label permutations x colour swap)."""
+        best_w, best_b = wmask, bmask
+        if _pair_less(bmask, wmask, best_w, best_b):
+            best_w, best_b = bmask, wmask
+        tables = self.tables
+        for idx in range(1, len(self.perms)):
+            if tables is not None:
+                table = tables[idx]
+                tw, tb = table[wmask], table[bmask]
+            else:
+                tw, tb = self.apply(idx, wmask), self.apply(idx, bmask)
+            if _pair_less(tw, tb, best_w, best_b):
+                best_w, best_b = tw, tb
+            if _pair_less(tb, tw, best_w, best_b):
+                best_w, best_b = tb, tw
+        return best_w, best_b
+
+    def perm_canonical_masks(self, wmask: int, bmask: int) -> Tuple[int, int]:
+        """Lex-least mask pair over label permutations only (no colour
+        swap) — two specs are swap-isomorphic iff the perm-canonical form
+        of one equals the perm-canonical form of the other's swap."""
+        best_w, best_b = wmask, bmask
+        tables = self.tables
+        for idx in range(1, len(self.perms)):
+            if tables is not None:
+                table = tables[idx]
+                tw, tb = table[wmask], table[bmask]
+            else:
+                tw, tb = self.apply(idx, wmask), self.apply(idx, bmask)
+            if _pair_less(tw, tb, best_w, best_b):
+                best_w, best_b = tw, tb
+        return best_w, best_b
+
+    def is_canonical(self, wmask: int, bmask: int) -> bool:
+        """The orderly-enumeration rejection rule: a spec survives iff it
+        *is* its own canonical form — iff no transform produces a
+        lexicographically smaller image.  Rejects abort at the first
+        smaller image (for most specs the very first comparison, the
+        un-permuted colour swap)."""
+        if _pair_less(bmask, wmask, wmask, bmask):
+            return False
+        tables = self.tables
+        for idx in range(1, len(self.perms)):
+            if tables is not None:
+                table = tables[idx]
+                tw, tb = table[wmask], table[bmask]
+            else:
+                tw, tb = self.apply(idx, wmask), self.apply(idx, bmask)
+            if (_pair_less(tw, tb, wmask, bmask)
+                    or _pair_less(tb, tw, wmask, bmask)):
+                return False
+        return True
+
+
+_CONTEXTS: Dict[Tuple[int, int, int], CanonicalContext] = {}
+
+
+def get_context(n_in: int, n_out: int, delta: int) -> CanonicalContext:
+    """The cached :class:`CanonicalContext` of one alphabet signature."""
+    key = (n_in, n_out, delta)
+    ctx = _CONTEXTS.get(key)
+    if ctx is None:
+        ctx = _CONTEXTS[key] = CanonicalContext(n_in, n_out, delta)
+    return ctx
+
+
+def canonical_encoding(spec: ProblemSpec) -> Encoding:
+    """The lexicographically smallest encoding over the symmetry orbit —
+    the (only) canonicalization path of the census, pinned equal to
+    :func:`legacy_canonical_encoding` by the property tests."""
+    ctx = get_context(spec.n_in, spec.n_out, spec.delta)
+    wmask, bmask = ctx.spec_masks(spec)
+    return ctx.encoding_from_masks(*ctx.canonical_masks(wmask, bmask))
+
+
+# ----------------------------------------------------------------------
+# partition refinement
+# ----------------------------------------------------------------------
+def refine_partition(
+    ctx: CanonicalContext, wmask: int, bmask: int,
+    symmetric: bool = False,
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Refine the input/output label alphabets by iterated incidence
+    signatures over the allowed multisets.
+
+    Each round computes, per allowed multiset, the tuple (colour flags,
+    sorted member classes) and, per label, the sorted tuple of the
+    signatures of its occurrences (with multiplicity); labels are
+    re-classed by signature until a fixpoint.  The class vectors are
+    isomorphism-invariant: every automorphism of the spec maps each cell
+    onto itself, so stabilizer searches need only permute within cells
+    (the *stuck-cell group*).
+
+    With ``symmetric=True`` the colour flags are the *unordered*
+    white/black membership pair, making the partition invariant under
+    colour-swapping isomorphisms as well — the cell constraint for the
+    swap-part stabilizer search (a permutation mapping ``(white, black)``
+    onto ``(black, white)`` must also respect these coarser cells).
+
+    Returns ``(input classes, output classes)`` as class-id vectors
+    (labels share a class id iff no signature separates them).
+    """
+    n_in, n_out = ctx.n_in, ctx.n_out
+    in_cls: List[int] = [0] * n_in
+    out_cls: List[int] = [0] * n_out
+    ranked = ctx.ranked
+    members = [
+        r for r in range(ctx.m)
+        if (wmask >> r) & 1 or (bmask >> r) & 1
+    ]
+    flags: Dict[int, Tuple[int, int]] = {}
+    for r in members:
+        wbit, bbit = (wmask >> r) & 1, (bmask >> r) & 1
+        if symmetric and wbit > bbit:
+            wbit, bbit = bbit, wbit
+        flags[r] = (wbit, bbit)
+    while True:
+        in_occ: List[List[Tuple]] = [[] for _ in range(n_in)]
+        out_occ: List[List[Tuple]] = [[] for _ in range(n_out)]
+        for r in members:
+            ms = ranked[r]
+            sig = (
+                flags[r],
+                tuple(sorted((in_cls[i], out_cls[o]) for i, o in ms)),
+            )
+            for i, o in ms:
+                in_occ[i].append(sig)
+                out_occ[o].append(sig)
+        new_in = _re_class(in_cls, in_occ)
+        new_out = _re_class(out_cls, out_occ)
+        if new_in == in_cls and new_out == out_cls:
+            return tuple(in_cls), tuple(out_cls)
+        in_cls, out_cls = new_in, new_out
+
+
+def _re_class(old: List[int], occurrences: List[List[Tuple]]) -> List[int]:
+    """New class ids from (old class, sorted occurrence signatures)."""
+    sigs = [
+        (old[label], tuple(sorted(occ)))
+        for label, occ in enumerate(occurrences)
+    ]
+    order = {sig: idx for idx, sig in enumerate(sorted(set(sigs)))}
+    return [order[sig] for sig in sigs]
+
+
+def stuck_cell_perms(classes: Sequence[int]) -> Iterator[Tuple[int, ...]]:
+    """All label permutations that move labels only within their
+    refinement cell — the stuck-cell group of one alphabet."""
+    cells: Dict[int, List[int]] = {}
+    for label, cls in enumerate(classes):
+        cells.setdefault(cls, []).append(label)
+    ordered = [cells[c] for c in sorted(cells)]
+    for choice in itertools.product(
+        *(itertools.permutations(cell) for cell in ordered)
+    ):
+        pi = [0] * len(classes)
+        for cell, images in zip(ordered, choice):
+            for src, dst in zip(cell, images):
+                pi[src] = dst
+        yield tuple(pi)
+
+
+def stuck_cell_order(classes: Sequence[int]) -> int:
+    """Order of the stuck-cell group: the product of ``|cell|!``."""
+    sizes: Dict[int, int] = {}
+    for cls in classes:
+        sizes[cls] = sizes.get(cls, 0) + 1
+    order = 1
+    for size in sizes.values():
+        order *= factorial(size)
+    return order
+
+
+def stabilizer_order(
+    ctx: CanonicalContext, wmask: int, bmask: int,
+    force_refinement: bool = False,
+) -> int:
+    """Order of the spec's stabilizer inside the full symmetry group.
+
+    The permutation part is found by scanning only the stuck-cell group
+    of the refined partition (automorphisms cannot mix cells); for tiny
+    full groups the direct table scan is cheaper than refining, so the
+    stuck-cell search engages once the group outgrows
+    ``_STUCK_SCAN_THRESHOLD`` (``force_refinement`` pins both paths in
+    the tests).  The colour-swap part doubles the stabilizer exactly
+    when the swapped spec is label-permutation-isomorphic to the spec
+    (the swap stabilizer elements are then one coset of the permutation
+    stabilizer).
+    """
+    n_perms = len(ctx.perms)
+    refined = force_refinement or n_perms > _STUCK_SCAN_THRESHOLD
+    stab = 0
+    if refined:
+        in_cls, out_cls = refine_partition(ctx, wmask, bmask)
+        perm_index = ctx.perm_index
+        for pi_in in stuck_cell_perms(in_cls):
+            for pi_out in stuck_cell_perms(out_cls):
+                idx = perm_index[(pi_in, pi_out)]
+                if (ctx.apply(idx, wmask) == wmask
+                        and ctx.apply(idx, bmask) == bmask):
+                    stab += 1
+    else:
+        tables = ctx.tables
+        for idx in range(n_perms):
+            if tables is not None:
+                table = tables[idx]
+                tw, tb = table[wmask], table[bmask]
+            else:
+                tw, tb = ctx.apply(idx, wmask), ctx.apply(idx, bmask)
+            if tw == wmask and tb == bmask:
+                stab += 1
+    if wmask == bmask:
+        swap_iso = True
+    elif refined:
+        # a colour-swapping isomorphism must respect the symmetrized
+        # refinement cells, so this search too stays inside a stuck-cell
+        # group instead of rescanning the full permutation group
+        sym_in, sym_out = refine_partition(ctx, wmask, bmask,
+                                           symmetric=True)
+        perm_index = ctx.perm_index
+        swap_iso = False
+        for pi_in in stuck_cell_perms(sym_in):
+            for pi_out in stuck_cell_perms(sym_out):
+                idx = perm_index[(pi_in, pi_out)]
+                if (ctx.apply(idx, wmask) == bmask
+                        and ctx.apply(idx, bmask) == wmask):
+                    swap_iso = True
+                    break
+            if swap_iso:
+                break
+    else:
+        swap_iso = (
+            ctx.perm_canonical_masks(bmask, wmask)
+            == ctx.perm_canonical_masks(wmask, bmask)
+        )
+    return stab * (2 if swap_iso else 1)
+
+
+def orbit_size(
+    ctx: CanonicalContext, wmask: int, bmask: int,
+    force_refinement: bool = False,
+) -> int:
+    """Orbit size via orbit--stabilizer: ``group order / stabilizer
+    order`` — the number of raw specs that canonicalize onto this one,
+    computed without ever visiting them."""
+    return ctx.group_order // stabilizer_order(
+        ctx, wmask, bmask, force_refinement=force_refinement
+    )
+
+
+# ----------------------------------------------------------------------
+# orderly enumeration
+# ----------------------------------------------------------------------
+def iter_space(
+    max_labels: int,
+    delta: int,
+    max_inputs: int = 1,
+    tick: Optional[Callable[[int], None]] = None,
+    tick_every: int = 8192,
+) -> Iterator[Tuple[Encoding, int]]:
+    """Stream the canonical problems of the bounded space in sorted
+    order.
+
+    Walks every ``(white, black)`` mask pair of every alphabet signature
+    in the encoding's tuple-lex order and yields ``(encoding, orbit
+    size)`` exactly for the specs that are their own canonical form
+    (:meth:`CanonicalContext.is_canonical`) — one representative per
+    orbit, already sorted, never materializing the raw space.  ``tick``
+    (if given) is called with the running raw-spec count every
+    ``tick_every`` specs — the census progress hook.
+    """
+    raw_seen = 0
+    for n_in in range(1, max_inputs + 1):
+        for n_out in range(1, max_labels + 1):
+            ctx = get_context(n_in, n_out, delta)
+            masks = ctx.ordered_masks
+            is_canonical = ctx.is_canonical
+            for wmask in masks:
+                for bmask in masks:
+                    raw_seen += 1
+                    if tick is not None and raw_seen % tick_every == 0:
+                        tick(raw_seen)
+                    if is_canonical(wmask, bmask):
+                        yield (
+                            ctx.encoding_from_masks(wmask, bmask),
+                            orbit_size(ctx, wmask, bmask),
+                        )
+    if tick is not None:
+        tick(raw_seen)
+
+
+# ----------------------------------------------------------------------
+# the legacy brute force — kept only as the differential oracle
+# ----------------------------------------------------------------------
+def _legacy_transforms(n_in: int, n_out: int):
+    """The symmetry group: input perms x output perms x colour swap."""
+    for pi_in in itertools.permutations(range(n_in)):
+        for pi_out in itertools.permutations(range(n_out)):
+            for swap in (False, True):
+                yield pi_in, pi_out, swap
+
+
+def legacy_canonical_encoding(spec: ProblemSpec) -> Encoding:
+    """The original brute force: remap the constraint sets under every
+    transform of the full group and keep the lexicographically smallest
+    encoding.  Retired from the census pipeline — this is the
+    differential oracle the property tests and the canonicalization
+    benchmark pin :func:`canonical_encoding` against."""
+    def remap(allowed: FrozenSet[Multiset], pi_in, pi_out) -> Tuple:
+        return tuple(sorted(
+            tuple(sorted((pi_in[i], pi_out[o]) for i, o in ms))
+            for ms in allowed
+        ))
+
+    best: Optional[Encoding] = None
+    for pi_in, pi_out, swap in _legacy_transforms(spec.n_in, spec.n_out):
+        w = remap(spec.white, pi_in, pi_out)
+        b = remap(spec.black, pi_in, pi_out)
+        if swap:
+            w, b = b, w
+        cand = (spec.n_in, spec.n_out, spec.delta, w, b)
+        if best is None or cand < best:
+            best = cand
+    return best

@@ -9,12 +9,13 @@ the spirit of Figures 1/2 and [BBK+23b]'s density results — classify an
    with ``|Sigma_in| <= max_inputs``, ``|Sigma_out| <= max_labels`` and
    constraints given extensionally as the allowed multisets of
    ``(input, output)`` pairs of sizes ``1..delta`` (the degree bound of
-   the tree universe the testing procedure explores).
-2. **Canonicalize** up to the problem symmetries — output-label
-   permutations, input-label permutations, and the white/black swap
-   (recolouring the tree) — so each isomorphism class is decided once;
-   the orbit size is recorded.
-3. **Decide** each canonical problem with
+   the tree universe the testing procedure explores) — **streamed** by
+   the orderly enumeration of :func:`repro.gap.canonical.iter_space`,
+   which yields exactly one representative per symmetry orbit (output
+   and input label permutations, white/black swap) in sorted order with
+   orbit sizes from orbit--stabilizer, never materializing the raw
+   space.
+2. **Decide** each canonical problem with
    :func:`~repro.gap.decider.decide_node_averaged_class`, fanned over a
    ``fork`` pool with the same task-order aggregation discipline as
    :class:`~repro.sweep.SweepRunner`: the JSON payload is
@@ -28,13 +29,19 @@ the spirit of Figures 1/2 and [BBK+23b]'s density results — classify an
    (an ``O(1)`` verdict must coincide with flat growth).
 
 Verdicts are mapped onto the Figure-2 landscape regions via
-:func:`repro.analysis.landscape.regions_for_verdict`.
+:func:`repro.analysis.landscape.regions_for_verdict`.  ``--atlas`` emits
+the landscape-atlas payload instead: every canonical problem of the
+bounded space mapped to its Figure-2 region — the paper's Figure 2,
+computed rather than drawn — storable and servable through
+``python -m repro.serve atlas``.
 
 CLI
 ---
 ::
 
     python -m repro.gap.census --max-labels 2 --delta 2 --workers 4
+    python -m repro.gap.census --max-labels 3 --delta 2 --atlas \
+        --store cas --out atlas.json
 
 Exits nonzero if any cross-validated verdict disagrees with its measured
 growth class (or a witness sweep produced an invalid labeling).
@@ -43,9 +50,9 @@ growth class (or a witness sweep produced an invalid labeling).
 from __future__ import annotations
 
 import argparse
-import itertools
 import json
 import sys
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -53,89 +60,47 @@ from ..analysis.landscape import regions_for_verdict
 from ..lcl.blackwhite import BLACK, WHITE, BlackWhiteLCL
 from ..parallel import fork_map, stable_digest
 from ..store import ResultStore, StoreKey, as_store, atomic_write_text
+from .canonical import (
+    Encoding,
+    Multiset,
+    ProblemSpec,
+    canonical_encoding,
+    enumerate_multisets,
+    get_context,
+    iter_space,
+    legacy_canonical_encoding,
+)
 from .decider import decide_node_averaged_class
-from .problems import all_equal, edge_2coloring, edge_3coloring, free_labeling
+from .problems import (
+    PROBLEMS,
+    all_equal,
+    edge_2coloring,
+    edge_3coloring,
+    free_labeling,
+    within_bounds,
+)
 
 __all__ = [
     "ProblemSpec",
     "enumerate_multisets",
     "enumerate_space",
     "canonical_encoding",
+    "legacy_canonical_encoding",
     "spec_to_problem",
     "spec_from_problem",
     "decide_encoding",
     "verdict_key",
+    "atlas_key",
     "CrossCheck",
     "CROSS_CHECKS",
     "classify_growth",
     "VERDICT_GROWTH_AGREEMENT",
     "run_census",
     "census_json",
+    "run_atlas",
+    "atlas_json",
     "main",
 ]
-
-#: a constraint multiset: the sorted tuple of (input-index, output-index)
-#: pairs incident to one node
-Multiset = Tuple[Tuple[int, int], ...]
-
-Encoding = Tuple  # nested-tuple canonical encoding of a ProblemSpec
-
-
-@dataclass(frozen=True)
-class ProblemSpec:
-    """An extensional black-white LCL: the allowed pair multisets per
-    colour, over index alphabets ``0..n_in-1`` / ``0..n_out-1`` and node
-    degrees ``1..delta``."""
-
-    n_in: int
-    n_out: int
-    delta: int
-    white: FrozenSet[Multiset]
-    black: FrozenSet[Multiset]
-
-    def encode(self) -> Encoding:
-        """A deterministic nested-tuple encoding (sortable, picklable)."""
-        return (
-            self.n_in, self.n_out, self.delta,
-            tuple(sorted(self.white)), tuple(sorted(self.black)),
-        )
-
-
-def enumerate_multisets(n_in: int, n_out: int, delta: int) -> List[Multiset]:
-    """All pair multisets of sizes ``1..delta`` in deterministic order."""
-    pairs = [(i, o) for i in range(n_in) for o in range(n_out)]
-    out: List[Multiset] = []
-    for size in range(1, delta + 1):
-        out.extend(itertools.combinations_with_replacement(pairs, size))
-    return out
-
-
-def _transforms(n_in: int, n_out: int):
-    """The symmetry group: input perms x output perms x colour swap."""
-    for pi_in in itertools.permutations(range(n_in)):
-        for pi_out in itertools.permutations(range(n_out)):
-            for swap in (False, True):
-                yield pi_in, pi_out, swap
-
-
-def canonical_encoding(spec: ProblemSpec) -> Encoding:
-    """The lexicographically smallest encoding over the symmetry orbit."""
-    def remap(allowed: FrozenSet[Multiset], pi_in, pi_out) -> Tuple:
-        return tuple(sorted(
-            tuple(sorted((pi_in[i], pi_out[o]) for i, o in ms))
-            for ms in allowed
-        ))
-
-    best: Optional[Encoding] = None
-    for pi_in, pi_out, swap in _transforms(spec.n_in, spec.n_out):
-        w = remap(spec.white, pi_in, pi_out)
-        b = remap(spec.black, pi_in, pi_out)
-        if swap:
-            w, b = b, w
-        cand = (spec.n_in, spec.n_out, spec.delta, w, b)
-        if best is None or cand < best:
-            best = cand
-    return best
 
 
 def _decode(encoding: Encoding) -> ProblemSpec:
@@ -210,30 +175,22 @@ def space_size(max_labels: int, delta: int, max_inputs: int = 1) -> int:
 def enumerate_space(
     max_labels: int, delta: int, max_inputs: int = 1,
 ) -> Tuple[List[Encoding], Dict[Encoding, int], int]:
-    """Enumerate and canonicalize the whole space.
+    """Materialized view of the orderly enumeration
+    (:func:`repro.gap.canonical.iter_space`) for callers that want the
+    whole space at once.
 
     Returns ``(canonical encodings sorted, orbit sizes, raw count)``:
     each canonical encoding represents its isomorphism class, and
-    ``orbit[enc]`` counts the raw problems that collapsed onto it.
+    ``orbit[enc]`` counts the raw problems that collapse onto it (via
+    orbit--stabilizer — no raw spec is ever visited).  The census itself
+    consumes the generator directly and never builds these structures.
     """
+    encodings: List[Encoding] = []
     orbit: Dict[Encoding, int] = {}
-    raw = 0
-    for n_in in range(1, max_inputs + 1):
-        for n_out in range(1, max_labels + 1):
-            multisets = enumerate_multisets(n_in, n_out, delta)
-            subsets = [
-                frozenset(c)
-                for size in range(len(multisets) + 1)
-                for c in itertools.combinations(multisets, size)
-            ]
-            for white in subsets:
-                for black in subsets:
-                    raw += 1
-                    enc = canonical_encoding(
-                        ProblemSpec(n_in, n_out, delta, white, black)
-                    )
-                    orbit[enc] = orbit.get(enc, 0) + 1
-    return sorted(orbit), orbit, raw
+    for enc, size in iter_space(max_labels, delta, max_inputs):
+        encodings.append(enc)
+        orbit[enc] = size
+    return encodings, orbit, space_size(max_labels, delta, max_inputs)
 
 
 # ----------------------------------------------------------------------
@@ -433,52 +390,109 @@ def _cross_validate(
 
 
 # ----------------------------------------------------------------------
+# progress reporting
+# ----------------------------------------------------------------------
+class _ProgressReporter:
+    """The ``--progress`` line: periodic
+    ``census progress: enumerated=... canonical=... decided=.../...
+    store-hits=... elapsed=...s`` on **stderr**.  Observability only —
+    nothing it touches reaches the JSON payload or the store, so the
+    byte-identity contracts are unaffected whether progress is on or
+    off."""
+
+    def __init__(self, enabled: bool, interval: float = 2.0) -> None:
+        self.enabled = enabled
+        self.interval = interval
+        self.enumerated = 0
+        self.kept = 0
+        self.decided = 0
+        self.pending = 0
+        self.store_hits = 0
+        if enabled:
+            # lint: allow(DET003) progress timestamps feed stderr only, never a payload or the store
+            self._start = self._last = time.monotonic()
+
+    def emit(self, force: bool = False) -> None:
+        if not self.enabled:
+            return
+        # lint: allow(DET003) stderr-only progress clock
+        now = time.monotonic()
+        if not force and now - self._last < self.interval:
+            return
+        self._last = now
+        print(
+            f"census progress: enumerated={self.enumerated} "
+            f"canonical={self.kept} decided={self.decided}/{self.pending} "
+            f"store-hits={self.store_hits} elapsed={now - self._start:.1f}s",
+            file=sys.stderr,
+        )
+
+    def on_raw(self, raw: int) -> None:
+        """Streaming-enumeration tick: raw specs walked so far."""
+        self.enumerated = raw
+        self.emit()
+
+    def on_decided(self, count: int) -> None:
+        """Decide-phase tick (the ``fork_map`` ``on_result`` hook)."""
+        self.decided = count
+        self.emit()
+
+
+# ----------------------------------------------------------------------
 # the census
 # ----------------------------------------------------------------------
-def run_census(
-    max_labels: int = 2,
-    delta: int = 2,
-    max_inputs: int = 1,
-    ell: int = 2,
-    max_functions: int = 4096,
-    workers: int = 1,
-    max_problems: Optional[int] = None,
-    cross_validate: bool = True,
-    store: object = None,
-    resume: bool = False,
-    stats_out: Optional[Dict[str, int]] = None,
-) -> Dict:
-    """Enumerate, canonicalize, decide and cross-validate the space.
+#: store-path shards are split into chunks of this many problems so the
+#: pool load-balances and progress ticks stay fine-grained; chunking is
+#: invisible in the payload (results re-keyed by encoding)
+_SHARD_CHUNK = 256
 
-    Returns a JSON-serializable payload that is byte-identical for every
-    ``workers`` value (see :func:`census_json`).  ``max_problems``
-    deterministically truncates the canonical list (recorded in the
-    spec) for smoke runs over spaces that would otherwise be too big —
-    the truncation is a prefix of the sorted canonical list, so a
-    truncated run's checkpoints are exactly the full run's first entries.
 
-    ``store`` (a :class:`repro.store.ResultStore`, a path, or ``None``)
-    checkpoints every verdict the moment it is decided, with workers
-    sharded by canonical-form digest so no two workers touch the same
-    key.  ``resume`` additionally reads already-decided verdicts back
-    from the store before fanning out, so a killed census continues from
-    its checkpoints instead of restarting.  The payload is byte-identical
-    with the store absent, cold, or resumed; reuse counts go into
-    ``stats_out`` (``{"reused": ..., "computed": ...}``), never into the
-    payload.
+def _decide_space(
+    max_labels: int,
+    delta: int,
+    max_inputs: int,
+    ell: int,
+    max_functions: int,
+    workers: int,
+    max_problems: Optional[int],
+    store: Optional[ResultStore],
+    resume: bool,
+    stats_out: Optional[Dict[str, int]],
+    reporter: _ProgressReporter,
+) -> Tuple[List[Encoding], Dict[Encoding, int], int, bool,
+           Dict[Encoding, Tuple[str, str]]]:
+    """The shared enumerate→resume→decide pipeline behind
+    :func:`run_census` and :func:`run_atlas`.
+
+    Streams the orderly enumeration (stopping after ``max_problems``
+    canonical forms, the sorted prefix), reads resumable verdicts back
+    from the store, and fans the rest over ``fork_map`` — digest-sharded
+    into the store checkpoints when one is given.  Returns ``(canonical
+    encodings, orbit sizes, raw count, truncated, verdict map)``.
     """
     if max_labels < 1 or max_inputs < 1:
         raise ValueError("max_labels and max_inputs must be >= 1")
     if delta < 2:
         raise ValueError("delta must be >= 2")
-    store = as_store(store)
     if resume and store is None:
         raise ValueError("resume requires a store")
-    encodings, orbit, raw = enumerate_space(max_labels, delta, max_inputs)
+
+    encodings: List[Encoding] = []
+    orbit: Dict[Encoding, int] = {}
     truncated = False
-    if max_problems is not None and len(encodings) > max_problems:
-        encodings = encodings[:max_problems]
-        truncated = True
+    stream = iter_space(max_labels, delta, max_inputs,
+                        tick=reporter.on_raw if reporter.enabled else None)
+    for enc, size in stream:
+        if max_problems is not None and len(encodings) >= max_problems:
+            truncated = True
+            stream.close()
+            break
+        encodings.append(enc)
+        orbit[enc] = size
+        reporter.kept = len(encodings)
+    raw = space_size(max_labels, delta, max_inputs)
+    reporter.enumerated = raw
+    reporter.emit(force=True)
 
     decided_map: Dict[Encoding, Tuple[str, str]] = {}
     if store is not None and resume:
@@ -491,21 +505,41 @@ def run_census(
     if stats_out is not None:
         stats_out["reused"] = len(encodings) - len(pending)
         stats_out["computed"] = len(pending)
+    reporter.store_hits = len(encodings) - len(pending)
+    reporter.pending = len(pending)
 
+    on_result = reporter.on_decided if reporter.enabled else None
     if store is not None and pending:
         # shard by canonical-form digest so concurrent workers never
-        # write the same key and a shard's checkpoints survive a kill
+        # write the same key and a shard's checkpoints survive a kill;
+        # each shard is split into chunks for load balancing (chunks of
+        # one shard share its digest class, so the key-disjointness
+        # argument is untouched)
         shards: Dict[int, List[Encoding]] = {}
         for enc in pending:
             k = verdict_key(store, enc, ell, max_functions)
             shards.setdefault(int(k.digest, 16) % max(1, workers),
                               []).append(enc)
-        shard_tasks = [
-            (tuple(shards[i]), ell, max_functions, store.root, store.salt)
-            for i in sorted(shards)
-        ]
-        shard_results = fork_map(_decide_shard, shard_tasks, workers,
-                                 label=_shard_spec_label)
+        shard_tasks = []
+        for i in sorted(shards):
+            encs = shards[i]
+            for start in range(0, len(encs), _SHARD_CHUNK):
+                shard_tasks.append((
+                    tuple(encs[start:start + _SHARD_CHUNK]),
+                    ell, max_functions, store.root, store.salt,
+                ))
+        if on_result is not None:
+            sizes = [len(t[0]) for t in shard_tasks]
+            done = [0]
+            for idx, size in enumerate(sizes):
+                done.append(done[idx] + size)
+            counter = _ChunkCounter(done, reporter)
+            shard_results = fork_map(_decide_shard, shard_tasks, workers,
+                                     label=_shard_spec_label,
+                                     on_result=counter.on_task)
+        else:
+            shard_results = fork_map(_decide_shard, shard_tasks, workers,
+                                     label=_shard_spec_label)
         for (encs, _ell, _mf, _root, _salt), results in zip(
                 shard_tasks, shard_results):
             for enc, verdict in zip(encs, results):
@@ -513,9 +547,66 @@ def run_census(
     elif pending:
         tasks = [(enc, ell, max_functions) for enc in pending]
         decided = fork_map(_decide_task, tasks, workers,
-                           label=_task_spec_label)
+                           label=_task_spec_label, on_result=on_result)
         for enc, verdict in zip(pending, decided):
             decided_map[enc] = verdict
+    reporter.decided = len(pending)
+    reporter.emit(force=True)
+    return encodings, orbit, raw, truncated, decided_map
+
+
+class _ChunkCounter:
+    """Translate completed-chunk counts into completed-problem counts
+    for the progress line (runs in the parent; nothing pickles)."""
+
+    def __init__(self, cumulative: List[int],
+                 reporter: _ProgressReporter) -> None:
+        self._cumulative = cumulative
+        self._reporter = reporter
+
+    def on_task(self, tasks_done: int) -> None:
+        self._reporter.on_decided(self._cumulative[tasks_done])
+
+
+def run_census(
+    max_labels: int = 2,
+    delta: int = 2,
+    max_inputs: int = 1,
+    ell: int = 2,
+    max_functions: int = 4096,
+    workers: int = 1,
+    max_problems: Optional[int] = None,
+    cross_validate: bool = True,
+    store: object = None,
+    resume: bool = False,
+    stats_out: Optional[Dict[str, int]] = None,
+    progress: bool = False,
+) -> Dict:
+    """Enumerate, canonicalize, decide and cross-validate the space.
+
+    Returns a JSON-serializable payload that is byte-identical for every
+    ``workers`` value (see :func:`census_json`).  ``max_problems``
+    deterministically truncates the canonical list (recorded in the
+    spec) for smoke runs over spaces that would otherwise be too big —
+    the truncation is a prefix of the sorted canonical stream, so a
+    truncated run's checkpoints are exactly the full run's first entries.
+
+    ``store`` (a :class:`repro.store.ResultStore`, a path, or ``None``)
+    checkpoints every verdict the moment it is decided, with workers
+    sharded by canonical-form digest so no two workers touch the same
+    key.  ``resume`` additionally reads already-decided verdicts back
+    from the store before fanning out, so a killed census continues from
+    its checkpoints instead of restarting.  The payload is byte-identical
+    with the store absent, cold, or resumed; reuse counts go into
+    ``stats_out`` (``{"reused": ..., "computed": ...}``), never into the
+    payload.  ``progress`` prints a periodic stderr status line and is
+    equally payload-invisible.
+    """
+    reporter = _ProgressReporter(progress)
+    encodings, orbit, raw, truncated, decided_map = _decide_space(
+        max_labels, delta, max_inputs, ell, max_functions, workers,
+        max_problems, as_store(store), resume, stats_out, reporter,
+    )
 
     verdicts: Dict[Encoding, str] = {}
     problems: List[Dict] = []
@@ -578,6 +669,142 @@ def census_json(**kwargs) -> str:
 
 
 # ----------------------------------------------------------------------
+# the landscape atlas
+# ----------------------------------------------------------------------
+def atlas_key(
+    store: ResultStore,
+    max_labels: int,
+    max_inputs: int,
+    delta: int,
+    ell: int,
+    max_functions: int,
+) -> StoreKey:
+    """The content address of one published landscape atlas — the
+    enumeration bounds plus every decider parameter the verdicts depend
+    on.  Shared with :mod:`repro.serve` (``atlas``), which reconstructs
+    exactly this key to answer atlas queries.  Only **complete** atlases
+    are stored under it (a truncated smoke atlas would shadow the real
+    one)."""
+    return store.key(
+        "census-atlas", max_labels, max_inputs, delta, ell, max_functions,
+    )
+
+
+def run_atlas(
+    max_labels: int = 2,
+    delta: int = 2,
+    max_inputs: int = 1,
+    ell: int = 2,
+    max_functions: int = 4096,
+    workers: int = 1,
+    max_problems: Optional[int] = None,
+    store: object = None,
+    resume: bool = False,
+    stats_out: Optional[Dict[str, int]] = None,
+    progress: bool = False,
+) -> Dict:
+    """The landscape atlas: every canonical black-white LCL of the
+    bounded space mapped to its Figure-2 region — the paper's Figure 2,
+    computed rather than drawn.
+
+    Shares the full enumerate→decide pipeline (and therefore the store
+    checkpoints, resume semantics, truncation and byte-identity
+    contracts) with :func:`run_census`, but emits the publishable
+    artifact: per problem the exact constraint sets as bit masks over
+    the tuple-lex-ranked multiset list (``white_mask``/``black_mask`` —
+    the compact lossless form), the orbit size, the verdict, and the
+    verdict→Figure-2-region map; plus *landmarks* locating the named
+    registry problems (:data:`repro.gap.problems.PROBLEMS`) inside the
+    atlas.  When a ``store`` is given and the atlas is complete (not
+    truncated), the payload is also published under :func:`atlas_key`
+    for ``python -m repro.serve atlas``.
+    """
+    store = as_store(store)
+    reporter = _ProgressReporter(progress)
+    encodings, orbit, raw, truncated, decided_map = _decide_space(
+        max_labels, delta, max_inputs, ell, max_functions, workers,
+        max_problems, store, resume, stats_out, reporter,
+    )
+
+    problems: Dict[str, Dict] = {}
+    counts: Dict[str, int] = {}
+    raw_counts: Dict[str, int] = {}
+    for enc in encodings:
+        klass, _detail = decided_map[enc]
+        counts[klass] = counts.get(klass, 0) + 1
+        raw_counts[klass] = raw_counts.get(klass, 0) + orbit[enc]
+        ctx = get_context(enc[0], enc[1], enc[2])
+        key = spec_name(enc)
+        if key in problems:  # pragma: no cover - 48-bit digest collision
+            raise RuntimeError(f"atlas key collision: {key}")
+        problems[key] = {
+            "inputs": enc[0],
+            "outputs": enc[1],
+            "white_mask": ctx.mask_from_multisets(enc[3]),
+            "black_mask": ctx.mask_from_multisets(enc[4]),
+            "orbit": orbit[enc],
+            "verdict": klass,
+        }
+
+    landmarks: Dict[str, Dict] = {}
+    for name, factory in sorted(PROBLEMS.items()):
+        problem = factory()
+        if not within_bounds(problem, max_labels, max_inputs):
+            continue  # outside the atlas bounds
+        enc = canonical_encoding(spec_from_problem(problem, delta))
+        key = spec_name(enc)
+        if key not in problems:
+            continue  # truncated smoke atlas that stopped before it
+        landmarks[name] = {
+            "key": key,
+            "verdict": problems[key]["verdict"],
+        }
+
+    payload = {
+        "atlas": {
+            "max_labels": max_labels,
+            "max_inputs": max_inputs,
+            "delta": delta,
+            "ell": ell,
+            "max_functions": max_functions,
+            "raw_problems": raw,
+            "canonical_problems": len(encodings),
+            "max_problems": max_problems,
+            "truncated": truncated,
+            # deliberately no worker count: the payload must be
+            # byte-identical for any parallelism level
+        },
+        "regions": {
+            klass: {
+                "problems": counts[klass],
+                "raw_problems": raw_counts[klass],
+                "figure2": [
+                    {"kind": r.kind, "low": r.low, "high": r.high,
+                     "source": r.source}
+                    for r in regions_for_verdict(klass)
+                ],
+            }
+            for klass in sorted(counts)
+        },
+        "landmarks": landmarks,
+        "problems": problems,
+    }
+    if store is not None and not truncated:
+        store.put(
+            atlas_key(store, max_labels, max_inputs, delta, ell,
+                      max_functions),
+            payload,
+        )
+    return payload
+
+
+def atlas_json(**kwargs) -> str:
+    """The atlas payload as canonical JSON (sorted keys, 2-space indent,
+    trailing newline) — the byte-comparable published artifact."""
+    return json.dumps(run_atlas(**kwargs), sort_keys=True, indent=2) + "\n"
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -605,6 +832,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         "problem list (smoke runs on big spaces)")
     parser.add_argument("--no-cross-validate", action="store_true",
                         help="skip the empirical witness sweeps")
+    parser.add_argument("--atlas", action="store_true",
+                        help="emit the landscape-atlas payload (every "
+                        "canonical problem mapped to its Figure-2 "
+                        "region, with registry-problem landmarks) "
+                        "instead of the full census; skips "
+                        "cross-validation; with --store a complete "
+                        "atlas is also published for "
+                        "'python -m repro.serve atlas'")
+    parser.add_argument("--progress", action="store_true",
+                        help="periodic progress line on stderr "
+                        "(enumerated / canonical / decided / "
+                        "store-hits, elapsed); never written into the "
+                        "JSON payload")
     parser.add_argument("--store", default=None, metavar="PATH",
                         help="content-addressed result store directory: "
                         "checkpoint every verdict the moment it is "
@@ -622,14 +862,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--resume requires --store")
 
     stats: Dict[str, int] = {}
-    text = census_json(
+    common = dict(
         max_labels=args.max_labels, delta=args.delta,
         max_inputs=args.max_inputs, ell=args.ell,
         max_functions=args.max_functions, workers=args.workers,
         max_problems=args.max_problems,
-        cross_validate=not args.no_cross_validate,
         store=args.store, resume=args.resume, stats_out=stats,
+        progress=args.progress,
     )
+    if args.atlas:
+        text = atlas_json(**common)
+    else:
+        text = census_json(
+            cross_validate=not args.no_cross_validate, **common,
+        )
     if args.store:
         print(f"store: reused={stats['reused']} "
               f"computed={stats['computed']}", file=sys.stderr)
@@ -639,6 +885,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"wrote {args.out}")
     else:
         sys.stdout.write(text)
+
+    if args.atlas:
+        spec = payload["atlas"]
+        counts = {k: v["problems"] for k, v in payload["regions"].items()}
+        summary = (
+            f"atlas: {spec['raw_problems']} problems -> "
+            f"{spec['canonical_problems']} canonical; regions: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        )
+        print(summary, file=sys.stderr)
+        if args.store and spec["truncated"]:
+            print("atlas: truncated smoke run NOT published to the store",
+                  file=sys.stderr)
+        return 0
 
     spec = payload["spec"]
     counts = payload["summary"]["verdicts"]

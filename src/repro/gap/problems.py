@@ -18,7 +18,7 @@ from __future__ import annotations
 from ..lcl.blackwhite import BlackWhiteLCL
 
 __all__ = ["free_labeling", "all_equal", "edge_3coloring", "edge_2coloring",
-           "PROBLEMS"]
+           "PROBLEMS", "within_bounds"]
 
 _IN = ("-",)  # single dummy input label
 
@@ -53,6 +53,16 @@ def edge_3coloring() -> BlackWhiteLCL:
 def edge_2coloring() -> BlackWhiteLCL:
     """Proper edge coloring with 2 colors: Theta(n) on paths."""
     return BlackWhiteLCL("edge-2coloring", _IN, (1, 2), _proper, _proper)
+
+
+def within_bounds(
+    problem: BlackWhiteLCL, max_labels: int, max_inputs: int = 1,
+) -> bool:
+    """Whether a problem's alphabets fit inside census/atlas enumeration
+    bounds — e.g. the landmark filter of the landscape atlas (problems
+    outside the bounds cannot appear in the enumerated space)."""
+    return (len(problem.sigma_in) <= max_inputs
+            and len(problem.sigma_out) <= max_labels)
 
 
 #: name → factory registry of the concrete demo problems, so CLIs

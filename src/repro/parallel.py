@@ -96,6 +96,7 @@ def fork_map(
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple[object, ...] = (),
     label: Optional[Callable[[_T], str]] = None,
+    on_result: Optional[Callable[[int], None]] = None,
 ) -> List[_R]:
     """Map ``fn`` over ``tasks`` preserving task order.
 
@@ -108,6 +109,13 @@ def fork_map(
     because deterministic aggregates require results in task order.  Fork
     workers inherit the parent's registries, so dynamically registered
     families/algorithms/problems stay resolvable by name.
+
+    ``on_result`` (if given) is called **in the parent**, in task order,
+    with the count of completed tasks after each one finishes — the
+    progress hook.  The pool path switches from ``pool.map`` to the
+    ordered ``pool.imap`` so completions surface incrementally; results
+    still arrive in task order, so aggregates stay byte-identical and the
+    callback neither crosses the pool boundary nor needs to pickle.
 
     A task that raises surfaces as :class:`ForkTaskError` whose message
     names the task — ``label(task)`` when the caller supplies a labeller
@@ -126,7 +134,12 @@ def fork_map(
     if workers == 1 or len(tasks) <= 1:
         if initializer is not None:
             initializer(*initargs)
-        return [_call_labeled(p) for p in packed]
+        out: List[_R] = []
+        for p in packed:
+            out.append(_call_labeled(p))
+            if on_result is not None:
+                on_result(len(out))
+        return out
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -143,4 +156,10 @@ def fork_map(
     with ctx.Pool(
         processes=processes, initializer=initializer, initargs=initargs
     ) as pool:
-        return pool.map(_call_labeled, packed, chunksize=chunksize)
+        if on_result is None:
+            return pool.map(_call_labeled, packed, chunksize=chunksize)
+        results: List[_R] = []
+        for res in pool.imap(_call_labeled, packed, chunksize=chunksize):
+            results.append(res)
+            on_result(len(results))
+        return results

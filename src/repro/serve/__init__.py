@@ -13,6 +13,9 @@ half of that split — it answers from the store in milliseconds:
 * ``curve`` — the node-averaged complexity curve of one algorithm on
   one family across sizes, assembled from stored sweep units and
   classified as flat / intermediate / linear growth.
+* ``atlas`` — the published landscape atlas of one bounded problem
+  space: every canonical black-white LCL mapped to its Figure-2 region
+  (built and stored by ``python -m repro.gap.census --atlas --store``).
 * ``stats`` — store introspection: hit/miss counters, per-kind entry
   counts and on-disk footprint.
 
@@ -167,6 +170,37 @@ def _curve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _atlas(args: argparse.Namespace) -> int:
+    from ..gap.census import atlas_key, run_atlas
+    from ..store import ResultStore, canonical_json
+
+    store = ResultStore(args.store)
+    key = atlas_key(store, args.max_labels, args.max_inputs, args.delta,
+                    args.ell, args.max_functions)
+    payload = store.get(key)
+    if not (isinstance(payload, dict) and "atlas" in payload):
+        if not args.build:
+            print(f"miss: atlas for max-labels {args.max_labels} / "
+                  f"delta {args.delta} not in store (rerun with --build, "
+                  f"or publish via python -m repro.gap.census --atlas "
+                  f"--store)", file=sys.stderr)
+            return EXIT_MISS
+        # build through the census pipeline with resume, so verdicts
+        # already checkpointed in this store are reused, and the
+        # complete atlas is published under the same key we just missed
+        payload = run_atlas(
+            max_labels=args.max_labels, delta=args.delta,
+            max_inputs=args.max_inputs, ell=args.ell,
+            max_functions=args.max_functions, workers=args.workers,
+            store=store, resume=True,
+        )
+        print("computed and stored", file=sys.stderr)
+    else:
+        print("served from store", file=sys.stderr)
+    sys.stdout.write(canonical_json(payload))
+    return 0
+
+
 def _stats(args: argparse.Namespace) -> int:
     from ..store import ResultStore, canonical_json
 
@@ -245,6 +279,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="on misses, simulate the missing units and "
                        "store them instead of exiting 3")
     curve.set_defaults(run=_curve)
+
+    atlas = sub.add_parser(
+        "atlas",
+        help="published landscape atlas of one bounded problem space "
+        "(exit 3 on a store miss without --build)",
+    )
+    atlas.add_argument("--max-labels", type=int, default=2,
+                       help="max |Sigma_out| of the atlas (default: 2)")
+    atlas.add_argument("--max-inputs", type=int, default=1,
+                       help="max |Sigma_in| of the atlas (default: 1)")
+    atlas.add_argument("--delta", type=int, default=2,
+                       help="degree bound of the tree universe "
+                       "(default: 2)")
+    atlas.add_argument("--ell", type=int, default=2,
+                       help="compress path-length parameter (default: 2)")
+    atlas.add_argument("--max-functions", type=int, default=4096,
+                       help="DFS candidate budget (default: 4096)")
+    atlas.add_argument("--workers", type=int, default=1,
+                       help="worker processes for --build (default: 1)")
+    atlas.add_argument("--build", action="store_true",
+                       help="on a miss, run the census atlas pipeline "
+                       "(reusing any checkpointed verdicts) and store "
+                       "the atlas instead of exiting 3")
+    atlas.set_defaults(run=_atlas)
 
     stats = sub.add_parser(
         "stats", help="store counters, per-kind entries and footprint",

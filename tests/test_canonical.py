@@ -1,0 +1,244 @@
+"""Property tests for the partition-refinement canonical core.
+
+The acceptance pin: :func:`repro.gap.canonical.canonical_encoding` is
+observationally identical to the retired brute force
+(:func:`legacy_canonical_encoding`, kept as the differential oracle) on
+the *entire* max-labels-2 / delta=2 space — 1040 raw specs collapsing to
+298 canonical forms with identical orbit sizes — and on randomized
+transform fuzz over larger alphabet signatures.  On top of the pin:
+invariance under arbitrary symmetry transforms, idempotence,
+orbit--stabilizer agreement with explicitly materialized orbits, the
+stuck-cell stabilizer search against the direct full-group scan, the
+mask order against the encoding's tuple order, and the streaming orderly
+enumeration against the materializing wrapper.
+"""
+
+import itertools
+import random
+
+from repro.gap.canonical import (
+    ProblemSpec,
+    canonical_encoding,
+    enumerate_multisets,
+    get_context,
+    iter_space,
+    legacy_canonical_encoding,
+    mask_less,
+    orbit_size,
+    stabilizer_order,
+    stuck_cell_order,
+    stuck_cell_perms,
+)
+from repro.gap.census import enumerate_space
+
+#: fuzz signatures: multiple output labels, a non-trivial input
+#: alphabet, and a delta-3 universe
+SIGNATURES = [(1, 3, 2), (2, 2, 2), (1, 2, 3)]
+
+
+def random_spec(rng, n_in, n_out, delta):
+    multisets = enumerate_multisets(n_in, n_out, delta)
+    white = frozenset(
+        rng.sample(multisets, rng.randrange(len(multisets) + 1)))
+    black = frozenset(
+        rng.sample(multisets, rng.randrange(len(multisets) + 1)))
+    return ProblemSpec(n_in, n_out, delta, white, black)
+
+
+def transformed(spec, pi_in, pi_out, swap):
+    def remap(allowed):
+        return frozenset(
+            tuple(sorted((pi_in[i], pi_out[o]) for i, o in ms))
+            for ms in allowed
+        )
+
+    white, black = remap(spec.white), remap(spec.black)
+    if swap:
+        white, black = black, white
+    return ProblemSpec(spec.n_in, spec.n_out, spec.delta, white, black)
+
+
+def iter_raw_specs(max_labels, delta):
+    """Every raw spec of the bounded one-input space (the legacy
+    materializing walk)."""
+    for n_out in range(1, max_labels + 1):
+        multisets = enumerate_multisets(1, n_out, delta)
+        subsets = [
+            frozenset(c)
+            for size in range(len(multisets) + 1)
+            for c in itertools.combinations(multisets, size)
+        ]
+        for white in subsets:
+            for black in subsets:
+                yield ProblemSpec(1, n_out, delta, white, black)
+
+
+class TestMaskOrder:
+    def test_mask_less_matches_encoding_tuple_order(self):
+        ctx = get_context(1, 2, 2)
+        ranked = ctx.ranked
+
+        def key(mask):
+            return tuple(
+                ranked[r] for r in range(ctx.m) if (mask >> r) & 1)
+
+        for a in range(1 << ctx.m):
+            for b in range(1 << ctx.m):
+                assert mask_less(a, b) == (key(a) < key(b)), (a, b)
+
+
+class TestCanonicalPin:
+    def test_pinned_equal_to_legacy_on_full_ml2_space(self):
+        # the acceptance pin: every raw spec of the max-labels-2 space
+        # canonicalizes identically under both implementations, and the
+        # collision-counted legacy orbits equal the orbit-stabilizer ones
+        legacy_orbit = {}
+        raw = 0
+        for spec in iter_raw_specs(2, 2):
+            raw += 1
+            legacy = legacy_canonical_encoding(spec)
+            assert canonical_encoding(spec) == legacy
+            legacy_orbit[legacy] = legacy_orbit.get(legacy, 0) + 1
+        assert raw == 1040
+        assert len(legacy_orbit) == 298
+
+        streamed = dict(iter_space(max_labels=2, delta=2))
+        assert streamed == legacy_orbit
+
+    def test_transform_and_swap_invariance_fuzz(self):
+        rng = random.Random(20240807)
+        for n_in, n_out, delta in SIGNATURES:
+            inputs = list(itertools.permutations(range(n_in)))
+            outputs = list(itertools.permutations(range(n_out)))
+            for _ in range(40):
+                spec = random_spec(rng, n_in, n_out, delta)
+                enc = canonical_encoding(spec)
+                assert enc == legacy_canonical_encoding(spec)
+                image = transformed(spec, rng.choice(inputs),
+                                    rng.choice(outputs),
+                                    rng.random() < 0.5)
+                assert canonical_encoding(image) == enc
+
+    def test_idempotent(self):
+        rng = random.Random(11)
+        for n_in, n_out, delta in SIGNATURES:
+            for _ in range(20):
+                enc = canonical_encoding(
+                    random_spec(rng, n_in, n_out, delta))
+                rebuilt = ProblemSpec(enc[0], enc[1], enc[2],
+                                      frozenset(enc[3]), frozenset(enc[4]))
+                assert canonical_encoding(rebuilt) == enc
+
+    def test_canonical_form_is_orbit_minimum(self):
+        # the canonical encoding is <= the encoding of every orbit member
+        rng = random.Random(5)
+        spec = random_spec(rng, 1, 3, 2)
+        enc = canonical_encoding(spec)
+        for pi_out in itertools.permutations(range(3)):
+            for swap in (False, True):
+                assert enc <= transformed(spec, (0,), pi_out, swap).encode()
+
+
+class TestOrbitStabilizer:
+    def explicit_orbit(self, spec):
+        members = set()
+        for pi_in in itertools.permutations(range(spec.n_in)):
+            for pi_out in itertools.permutations(range(spec.n_out)):
+                for swap in (False, True):
+                    members.add(
+                        transformed(spec, pi_in, pi_out, swap).encode())
+        return members
+
+    def test_orbit_size_matches_materialized_orbit(self):
+        rng = random.Random(13)
+        for n_in, n_out, delta in SIGNATURES:
+            ctx = get_context(n_in, n_out, delta)
+            for _ in range(15):
+                spec = random_spec(rng, n_in, n_out, delta)
+                wmask, bmask = ctx.spec_masks(spec)
+                assert orbit_size(ctx, wmask, bmask) == \
+                    len(self.explicit_orbit(spec))
+
+    def test_stuck_cell_path_matches_direct_scan(self):
+        # force_refinement pins the stuck-cell search against the direct
+        # full-group scan (the signatures are small enough that the
+        # default path IS the direct scan)
+        rng = random.Random(17)
+        for n_in, n_out, delta in SIGNATURES:
+            ctx = get_context(n_in, n_out, delta)
+            specs = [ctx.spec_masks(random_spec(rng, n_in, n_out, delta))
+                     for _ in range(15)]
+            # degenerate fixpoints: empty, full, and symmetric w == b
+            full = (1 << ctx.m) - 1
+            specs += [(0, 0), (full, full), (full, 0), (3, 3)]
+            for wmask, bmask in specs:
+                assert stabilizer_order(ctx, wmask, bmask) == \
+                    stabilizer_order(ctx, wmask, bmask,
+                                     force_refinement=True), (wmask, bmask)
+
+    def test_group_fixed_points_have_unit_orbit(self):
+        ctx = get_context(1, 3, 2)
+        full = (1 << ctx.m) - 1
+        for wmask, bmask in [(0, 0), (full, full)]:
+            for force in (False, True):
+                assert stabilizer_order(ctx, wmask, bmask,
+                                        force_refinement=force) == \
+                    ctx.group_order
+                assert orbit_size(ctx, wmask, bmask,
+                                  force_refinement=force) == 1
+
+    def test_stuck_cell_group(self):
+        classes = (0, 1, 0, 2, 1)  # cells {0,2}, {1,4}, {3}
+        perms = list(stuck_cell_perms(classes))
+        assert len(perms) == stuck_cell_order(classes) == 4
+        assert len(set(perms)) == 4
+        for pi in perms:
+            assert sorted(pi) == [0, 1, 2, 3, 4]
+            for src, dst in enumerate(pi):
+                assert classes[src] == classes[dst]
+
+
+class TestStreaming:
+    def test_iter_space_matches_materializing_wrapper(self):
+        encodings, orbit, raw = enumerate_space(max_labels=2, delta=2)
+        streamed = list(iter_space(max_labels=2, delta=2))
+        assert [enc for enc, _ in streamed] == encodings
+        assert dict(streamed) == orbit
+        assert raw == 1040 and len(encodings) == 298
+
+    def test_stream_is_sorted_and_duplicate_free(self):
+        encodings = [enc for enc, _ in iter_space(max_labels=2, delta=2)]
+        assert encodings == sorted(encodings)
+        assert len(encodings) == len(set(encodings))
+
+    def test_orbit_sizes_partition_the_raw_space(self):
+        assert sum(size for _, size in
+                   iter_space(max_labels=2, delta=2)) == 1040
+
+    def test_tick_reports_raw_progress(self):
+        ticks = []
+        count = sum(1 for _ in iter_space(max_labels=2, delta=2,
+                                          tick=ticks.append,
+                                          tick_every=128))
+        assert count == 298
+        assert ticks == sorted(ticks) and ticks[-1] == 1040
+        assert all(t % 128 == 0 for t in ticks[:-1])
+
+    def test_early_close_is_clean(self):
+        # _decide_space truncation path: closing the generator mid-walk
+        # must not leak or raise
+        stream = iter_space(max_labels=2, delta=2)
+        taken = [next(stream) for _ in range(10)]
+        stream.close()
+        assert [e for e, _ in taken] == \
+            [e for e, _ in iter_space(max_labels=2, delta=2)][:10]
+
+
+class TestMemoization:
+    def test_enumerate_multisets_returns_cached_tuple(self):
+        assert enumerate_multisets(1, 2, 2) is enumerate_multisets(1, 2, 2)
+        assert isinstance(enumerate_multisets(1, 2, 2), tuple)
+
+    def test_context_cached_per_signature(self):
+        assert get_context(1, 2, 2) is get_context(1, 2, 2)
+        assert get_context(1, 2, 2) is not get_context(2, 2, 2)

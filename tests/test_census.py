@@ -5,17 +5,21 @@ import json
 
 import pytest
 
+from repro.gap.canonical import get_context
 from repro.gap.census import (
     CROSS_CHECKS,
     CrossCheck,
     ProblemSpec,
     VERDICT_GROWTH_AGREEMENT,
+    atlas_json,
+    atlas_key,
     canonical_encoding,
     census_json,
     classify_growth,
     enumerate_multisets,
     enumerate_space,
     main,
+    run_atlas,
     run_census,
     space_size,
     spec_from_problem,
@@ -24,6 +28,7 @@ from repro.gap.census import (
 )
 from repro.gap.problems import all_equal, edge_2coloring, edge_3coloring, free_labeling
 from repro.lcl.blackwhite import BLACK, WHITE
+from repro.store import ResultStore
 
 
 class TestEnumeration:
@@ -152,6 +157,100 @@ class TestDeterminism:
         enc = canonical_encoding(spec_from_problem(edge_3coloring(), delta=2))
         encodings, _, _ = enumerate_space(max_labels=2, delta=2)
         assert enc not in encodings
+
+
+class TestAtlas:
+    @pytest.fixture(scope="class")
+    def atlas(self):
+        return run_atlas(max_labels=2, delta=2, workers=1)
+
+    def test_byte_identical_across_workers(self):
+        kwargs = dict(max_labels=2, delta=2, max_problems=60)
+        serial = atlas_json(workers=1, **kwargs)
+        parallel = atlas_json(workers=4, **kwargs)
+        assert serial == parallel
+        payload = json.loads(serial)
+        assert "workers" not in payload["atlas"]
+        assert payload["atlas"]["truncated"] is True
+        assert len(payload["problems"]) == 60
+
+    def test_schema(self, atlas):
+        spec = atlas["atlas"]
+        assert spec["raw_problems"] == 1040
+        assert spec["canonical_problems"] == 298
+        assert spec["truncated"] is False
+        problems = atlas["problems"]
+        assert len(problems) == 298
+        assert sum(p["orbit"] for p in problems.values()) == 1040
+        for p in problems.values():
+            assert set(p) == {"inputs", "outputs", "white_mask",
+                              "black_mask", "orbit", "verdict"}
+            assert p["verdict"] in VERDICT_GROWTH_AGREEMENT
+        # the verdict->region map partitions both counts
+        regions = atlas["regions"]
+        assert sum(r["problems"] for r in regions.values()) == 298
+        assert sum(r["raw_problems"] for r in regions.values()) == 1040
+        assert all(r["figure2"] for r in regions.values())
+
+    def test_masks_reconstruct_canonical_specs(self, atlas):
+        # white_mask/black_mask are the lossless canonical constraint
+        # sets: bit r <-> the r-th multiset in tuple-lex order
+        for key, p in list(atlas["problems"].items())[:40]:
+            ctx = get_context(p["inputs"], p["outputs"], 2)
+            enc = ctx.encoding_from_masks(p["white_mask"], p["black_mask"])
+            assert spec_name(enc) == key
+            rebuilt = ProblemSpec(enc[0], enc[1], enc[2],
+                                  frozenset(enc[3]), frozenset(enc[4]))
+            assert canonical_encoding(rebuilt) == enc
+
+    def test_landmarks_locate_registry_problems(self, atlas):
+        landmarks = atlas["landmarks"]
+        assert landmarks["free_labeling"]["verdict"] == "O(1)"
+        assert landmarks["all_equal"]["verdict"] == "O(1)"
+        assert landmarks["edge_2coloring"]["verdict"] == "no-good-function"
+        # edge-3coloring needs three output labels: outside these bounds
+        assert "edge_3coloring" not in landmarks
+        for mark in landmarks.values():
+            assert atlas["problems"][mark["key"]]["verdict"] == \
+                mark["verdict"]
+
+    def test_store_publishes_only_complete_atlases(self, tmp_path):
+        store = ResultStore(tmp_path / "cas")
+        payload = run_atlas(max_labels=1, delta=2, store=store)
+        published = store.get(atlas_key(store, 1, 1, 2, 2, 4096))
+        assert published == json.loads(
+            json.dumps(payload))  # JSON-round-tripped by the store
+        run_atlas(max_labels=2, delta=2, max_problems=5, store=store)
+        assert store.get(atlas_key(store, 2, 1, 2, 2, 4096)) is None
+
+    def test_cli(self, tmp_path, capsys):
+        out = tmp_path / "atlas.json"
+        rc = main(["--max-labels", "1", "--atlas", "--out", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["atlas"]["raw_problems"] == 16
+        assert "cross_validation" not in payload
+        assert "atlas:" in capsys.readouterr().err
+
+
+class TestProgress:
+    def test_stderr_only_and_payload_invariant(self, capsys):
+        kwargs = dict(max_labels=1, workers=1, cross_validate=False)
+        quiet = census_json(**kwargs)
+        capsys.readouterr()
+        loud = census_json(progress=True, **kwargs)
+        captured = capsys.readouterr()
+        assert "census progress:" in captured.err
+        assert captured.out == ""
+        assert loud == quiet
+
+    def test_cli_flag(self, capsys):
+        rc = main(["--max-labels", "1", "--no-cross-validate",
+                   "--progress"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "census progress:" in captured.err
+        json.loads(captured.out)  # the payload stays clean JSON
 
 
 class TestCrossValidation:

@@ -425,6 +425,10 @@ def _cell_label(task):
     return f"cell#{task}"
 
 
+def _double(task):
+    return task * 2
+
+
 class TestForkMapErrors:
     @pytest.mark.parametrize("workers", [1, 4])
     def test_raising_worker_is_labeled(self, workers):
@@ -445,6 +449,23 @@ class TestForkMapErrors:
     def test_clean_tasks_unaffected(self):
         assert fork_map(_explode_on_three, [1, 2], 2,
                         label=_cell_label) == [2, 4]
+
+
+class TestForkMapOnResult:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_counts_arrive_in_task_order(self, workers):
+        # on_result runs in the parent and reports the task-order prefix
+        # length, monotonically, regardless of completion order
+        seen = []
+        out = fork_map(_double, list(range(9)), workers,
+                       on_result=seen.append)
+        assert out == [t * 2 for t in range(9)]
+        assert seen == list(range(1, 10))
+
+    def test_results_unchanged_by_hook(self):
+        with_hook = fork_map(_double, [3, 1, 4], 2,
+                             on_result=lambda _n: None)
+        assert with_hook == fork_map(_double, [3, 1, 4], 2) == [6, 2, 8]
 
 
 # ----------------------------------------------------------------------
@@ -522,6 +543,38 @@ class TestServeCLI:
                            "--samples", "2", "--instances", "1"],
                           cwd=REPO)
         assert "served from store" in served.stderr
+
+    def test_atlas_miss_build_then_serve_identical(self, tmp_path):
+        store = str(tmp_path / "cas")
+        common = ["atlas", "--max-labels", "1"]
+        miss = _run_cli(["repro.serve", "--store", store, *common],
+                        cwd=REPO, check=False)
+        assert miss.returncode == 3
+        assert "miss" in miss.stderr
+        built = _run_cli(["repro.serve", "--store", store, *common,
+                          "--build"], cwd=REPO)
+        assert "computed and stored" in built.stderr
+        served = _run_cli(["repro.serve", "--store", store, *common],
+                          cwd=REPO)
+        assert "served from store" in served.stderr
+        assert served.stdout == built.stdout
+        payload = json.loads(served.stdout)
+        assert payload["atlas"]["max_labels"] == 1
+        assert payload["atlas"]["truncated"] is False
+        # every registry problem needs two output labels: none land here
+        assert payload["landmarks"] == {}
+
+    def test_atlas_census_cli_populated_store_serves(self, tmp_path):
+        """The census --atlas publisher and serve atlas build identical
+        keys; the served bytes equal the census-written artifact."""
+        store = str(tmp_path / "cas")
+        out = tmp_path / "atlas.json"
+        _run_cli(["repro.gap.census", "--max-labels", "1", "--atlas",
+                  "--store", store, "--out", str(out)], cwd=REPO)
+        served = _run_cli(["repro.serve", "--store", store, "atlas",
+                           "--max-labels", "1"], cwd=REPO)
+        assert "served from store" in served.stderr
+        assert served.stdout == out.read_text()
 
     def test_stats(self, tmp_path):
         store_root = tmp_path / "cas"
