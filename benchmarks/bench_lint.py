@@ -1,0 +1,117 @@
+"""Two-phase analyzer cost: whole-tree wall time, summary amortization.
+
+The summarize-then-check split exists so the expensive phase — parsing
+every file, extracting facts, linking the call graph and running the
+summary fixpoints — happens **once** and serves every interprocedural
+rule family.  The strawman alternative (each of the four IPD/STORE002
+checks re-summarizing the project for itself) pays that cost per rule.
+Gates:
+
+* **amortization >= 2x**: one shared phase-1 index feeding all rule
+  families beats rebuilding the index per interprocedural family;
+* **whole-tree budget**: a full two-phase run over ``src tests
+  benchmarks examples`` (the CI lint gate) stays inside a generous
+  absolute wall bound, so the analyzer never becomes the slow step of
+  the build;
+* **correctness pin**: the shared-index run and the rebuild-per-family
+  run report byte-identical findings — amortization is a pure
+  scheduling change.
+
+Results land in ``benchmarks/results/lint.{txt,json}``.
+"""
+
+import os
+
+from harness import record_table, timed
+
+from repro.lint.core import analyze_source
+from repro.lint.runner import build_index, collect_files, run_lint
+
+#: one shared summary phase for N rule families must beat N phases
+MIN_AMORTIZATION = 2.0
+#: generous absolute budget for the CI lint gate (usually a few seconds)
+MAX_TREE_SECONDS = 120.0
+#: the interprocedural rule families the shared index serves
+FAMILIES = ("IPD001", "IPD002", "IPD003", "STORE002")
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PATHS = [p for p in ("src", "tests", "benchmarks", "examples")
+         if os.path.isdir(os.path.join(REPO, p))]
+
+
+def _interprocedural_findings(tasks, index):
+    """Phase 2 restricted to the interprocedural families: every file
+    checked against a prebuilt project index."""
+    out = []
+    for abs_path, display in tasks:
+        with open(abs_path, encoding="utf-8") as fh:
+            source = fh.read()
+        out.extend(
+            f for f in analyze_source(source, display, project=index)
+            if f.rule in FAMILIES)
+    return sorted(out)
+
+
+def shared_index_run(tasks):
+    """The real discipline: summarize once, check all families."""
+    index = build_index(tasks, jobs=1)
+    return _interprocedural_findings(tasks, index)
+
+
+def per_family_run(tasks):
+    """The strawman: each rule family rebuilds phase 1 for itself."""
+    findings = []
+    for family in FAMILIES:
+        index = build_index(tasks, jobs=1)
+        findings.extend(
+            f for f in _interprocedural_findings(tasks, index)
+            if f.rule == family)
+    return sorted(findings)
+
+
+def test_lint_two_phase_amortization():
+    tasks = collect_files(PATHS, root=REPO)
+    assert len(tasks) >= 100, "tree unexpectedly small — wrong root?"
+
+    shared_findings, wall_shared, _ = timed(shared_index_run, tasks)
+    family_findings, wall_family, _ = timed(per_family_run, tasks)
+    assert shared_findings == family_findings, (
+        "amortization changed the findings — phase 1 must be a pure "
+        "function of the tree")
+
+    report, wall_tree, rss = timed(
+        run_lint, PATHS, jobs=1, root=REPO)
+    assert report.exit_code == 0, (
+        "dogfooded tree has lint errors:\n" + report.to_text())
+
+    amortization = wall_family / max(wall_shared, 1e-9)
+    record_table(
+        "lint",
+        "Two-phase lint: shared summary index vs per-family rebuild",
+        ["configuration", "wall s", "findings"],
+        [
+            ["shared index (1 summarize, 4 families)",
+             f"{wall_shared:.3f}", len(shared_findings)],
+            [f"per-family rebuild ({len(FAMILIES)} summarize)",
+             f"{wall_family:.3f}", len(family_findings)],
+            [f"full two-phase run ({report.files} files, all rules)",
+             f"{wall_tree:.3f}", len(report.findings)],
+        ],
+        notes=[
+            f"amortization {amortization:.1f}x "
+            f"(gate >= {MIN_AMORTIZATION}x)",
+            f"whole-tree budget {wall_tree:.1f}s <= {MAX_TREE_SECONDS}s",
+            f"peak RSS {rss:.0f} MiB",
+        ],
+    )
+
+    assert amortization >= MIN_AMORTIZATION, (
+        f"shared summary index only {amortization:.2f}x faster than "
+        f"per-family rebuild (gate {MIN_AMORTIZATION}x)")
+    assert wall_tree <= MAX_TREE_SECONDS, (
+        f"whole-tree lint took {wall_tree:.1f}s "
+        f"(budget {MAX_TREE_SECONDS}s)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    test_lint_two_phase_amortization()

@@ -769,7 +769,10 @@ def run_atlas(
             "max_functions": max_functions,
             "raw_problems": raw,
             "canonical_problems": len(encodings),
-            "max_problems": max_problems,
+            # a budget that did not bite is normalized away: the stored
+            # payload must be a pure function of the atlas key, which
+            # does not (and must not) include the budget
+            "max_problems": max_problems if truncated else None,
             "truncated": truncated,
             # deliberately no worker count: the payload must be
             # byte-identical for any parallelism level
@@ -790,6 +793,7 @@ def run_atlas(
         "problems": problems,
     }
     if store is not None and not truncated:
+        # lint: allow(STORE002) workers/progress/resume/stats plumbing cannot reach payload bytes (CI byte-compares workers 1 vs 4), the max_problems budget is normalized away above, and truncated atlases are never stored
         store.put(
             atlas_key(store, max_labels, max_inputs, delta, ell,
                       max_functions),

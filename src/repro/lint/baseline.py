@@ -25,7 +25,7 @@ from typing import Dict, List, Sequence, Tuple
 from .core import Finding
 
 __all__ = ["BaselineError", "load_baseline", "split_findings",
-           "render_baseline"]
+           "render_baseline", "prune_baseline"]
 
 BaselineKey = Tuple[str, str, int]
 
@@ -93,3 +93,24 @@ def render_baseline(findings: Sequence[Finding], reason: str) -> str:
     ]
     return json.dumps({"version": 1, "findings": entries},
                       indent=2, sort_keys=True) + "\n"
+
+
+def prune_baseline(path: str, stale: Sequence[BaselineKey]) -> int:
+    """Rewrite the baseline at ``path`` without the ``stale`` keys,
+    preserving every surviving entry's hand-written reason.  Returns the
+    number of entries dropped.  A no-op (0 stale) leaves the file bytes
+    untouched."""
+    if not stale:
+        return 0
+    baseline = load_baseline(path)  # validates reasons along the way
+    doomed = set(stale)
+    survivors = [
+        {"file": file, "rule": rule, "line": line,
+         "reason": baseline[(file, rule, line)]}
+        for file, rule, line in sorted(baseline)
+        if (file, rule, line) not in doomed
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"version": 1, "findings": survivors},
+                            indent=2, sort_keys=True) + "\n")
+    return len(baseline) - len(survivors)

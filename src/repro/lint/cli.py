@@ -7,15 +7,16 @@ Exit codes: 0 clean (or warnings only), 1 non-baselined errors found,
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
-from .baseline import BaselineError, render_baseline
+from .baseline import BaselineError, prune_baseline, render_baseline
 from .runner import run_lint
 
 __all__ = ["main"]
 
-_DEFAULT_PATHS = ["src", "tests", "benchmarks"]
+_DEFAULT_PATHS = ["src", "tests", "benchmarks", "examples"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,6 +43,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write current findings as a baseline skeleton to FILE "
              "(edit in per-entry reasons afterwards) and exit")
     parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite the --baseline file in place dropping stale "
+             "entries (findings no longer present), keeping each "
+             "surviving entry's reason")
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the active rules and exit")
     return parser
@@ -57,9 +63,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule.id}  [{rule.default_severity}]  {rule.summary}")
         return 0
 
-    paths: List[str] = opts.paths or _DEFAULT_PATHS
+    paths: List[str] = opts.paths or [
+        p for p in _DEFAULT_PATHS if os.path.exists(p)]
     if opts.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if opts.prune_baseline and not opts.baseline:
+        parser.error("--prune-baseline requires --baseline")
     try:
         report = run_lint(paths, jobs=opts.jobs,
                           baseline_path=opts.baseline)
@@ -69,6 +78,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if opts.prune_baseline:
+        try:
+            dropped = prune_baseline(opts.baseline, report.stale_baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"pruned {dropped} stale entr"
+              f"{'y' if dropped == 1 else 'ies'} from {opts.baseline}")
+        report.stale_baseline = []
 
     if opts.write_baseline:
         with open(opts.write_baseline, "w", encoding="utf-8") as fh:

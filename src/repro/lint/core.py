@@ -157,6 +157,9 @@ class Rule(ast.NodeVisitor):
     id: str = "RULE000"
     summary: str = ""
     default_severity: str = "error"
+    #: the linked ProjectIndex during a two-phase run, else None —
+    #: interprocedural rules read their precomputed findings off it
+    project = None
 
     def __init__(self, ctx: ModuleContext) -> None:
         self.ctx = ctx
@@ -220,13 +223,16 @@ def analyze_source(
     path: str,
     rules: Optional[Sequence[type]] = None,
     severity_for=None,
+    project=None,
 ) -> List[Finding]:
     """Lint one module given as text.
 
     ``path`` is the display path (also what per-directory severity
     configuration matches against).  ``rules`` defaults to the full
     registry; ``severity_for(path, rule_id, default)`` defaults to the
-    repo configuration in :mod:`repro.lint.config`.
+    repo configuration in :mod:`repro.lint.config`.  ``project`` is the
+    linked :class:`repro.lint.summaries.ProjectIndex` of a two-phase
+    run; without one the interprocedural rules stay inert.
     """
     if rules is None:
         from .rules import all_rules
@@ -252,7 +258,9 @@ def analyze_source(
         severity = severity_for(path, rule_cls.id, rule_cls.default_severity)
         if severity == "off":
             continue
-        for line, col, message in rule_cls(ctx).run():
+        instance = rule_cls(ctx)
+        instance.project = project
+        for line, col, message in instance.run():
             if suppressions.suppresses(line, rule_cls.id):
                 continue
             findings.append(Finding(path, line, col, rule_cls.id,
@@ -265,8 +273,10 @@ def analyze_file(
     abs_path: str,
     display_path: Optional[str] = None,
     rules: Optional[Sequence[type]] = None,
+    project=None,
 ) -> List[Finding]:
     """Lint one file on disk (see :func:`analyze_source`)."""
     with open(abs_path, encoding="utf-8") as fh:
         source = fh.read()
-    return analyze_source(source, display_path or abs_path, rules=rules)
+    return analyze_source(source, display_path or abs_path, rules=rules,
+                          project=project)

@@ -23,21 +23,30 @@ from .determinism import (
     UnseededRandomRule,
     WallClockRule,
 )
-from .store import StorePayloadPurityRule
+from .interprocedural import (
+    TransitiveEntropyRule,
+    TransitiveSharedWriteRule,
+    TransitiveViewInternalsRule,
+)
+from .store import StoreKeyCompletenessRule, StorePayloadPurityRule
 
 __all__ = ["all_rules"]
 
 _REGISTRY: List[Type[Rule]] = [
-    UnseededRandomRule,       # DET001
-    BuiltinHashRule,          # DET002
-    WallClockRule,            # DET003
-    SetIterationRule,         # DET004
-    UnorderedPoolRule,        # DET005
-    ViewPrivateAccessRule,    # ENG001
-    BatchCacheResetRule,      # ENG002
-    ForkMapClosureRule,       # PAR001
-    SharedGraphWriteRule,     # SHM001
-    StorePayloadPurityRule,   # STORE001
+    UnseededRandomRule,          # DET001
+    BuiltinHashRule,             # DET002
+    WallClockRule,               # DET003
+    SetIterationRule,            # DET004
+    UnorderedPoolRule,           # DET005
+    ViewPrivateAccessRule,       # ENG001
+    BatchCacheResetRule,         # ENG002
+    TransitiveEntropyRule,       # IPD001
+    TransitiveViewInternalsRule, # IPD002
+    TransitiveSharedWriteRule,   # IPD003
+    ForkMapClosureRule,          # PAR001
+    SharedGraphWriteRule,        # SHM001
+    StorePayloadPurityRule,      # STORE001
+    StoreKeyCompletenessRule,    # STORE002
 ]
 
 

@@ -303,6 +303,16 @@ class SetIterationRule(Rule):
             if self._comp_over_set(node, sets) and self._consumed_by(
                     node, _ORDER_SENSITIVE_CONSUMERS, attr="join"):
                 self.report(node, self._msg("generator"))
+        elif isinstance(node, (ast.List, ast.Tuple)) and isinstance(
+                node.ctx, ast.Load):
+            # [*s] / (*s,) freeze set order exactly like list(s)/tuple(s)
+            starred_set = any(
+                isinstance(elt, ast.Starred)
+                and self._is_set_expr(elt.value, sets)
+                for elt in node.elts)
+            if starred_set and not self._consumed_by(
+                    node, _ORDER_FREE_CONSUMERS):
+                self.report(node, self._msg("starred unpacking"))
         elif isinstance(node, ast.Call):
             func = node.func
             sensitive = (
@@ -312,7 +322,19 @@ class SetIterationRule(Rule):
             ) or (isinstance(func, ast.Attribute) and func.attr == "join")
             if sensitive and node.args and self._is_set_expr(
                     node.args[0], sets):
-                self.report(node, self._msg("conversion"))
+                # sorted(list(s)) / min(tuple(s)): the wrapper's arbitrary
+                # order never reaches output — not an escape
+                if not self._consumed_by(node, _ORDER_FREE_CONSUMERS):
+                    self.report(node, self._msg("conversion"))
+            elif sensitive or (
+                    isinstance(func, ast.Name) and func.id == "print"
+                    and self.ctx.is_builtin("print")):
+                # f(*s) splats set order into positional arguments
+                for arg in node.args:
+                    if isinstance(arg, ast.Starred) and self._is_set_expr(
+                            arg.value, sets):
+                        self.report(node, self._msg("star-argument"))
+                        break
 
     @staticmethod
     def _msg(kind: str) -> str:

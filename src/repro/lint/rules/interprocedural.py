@@ -1,0 +1,93 @@
+"""IPD rules: the intramodule contracts, followed across calls.
+
+Every syntactic rule in this package has a blind spot one call deep: a
+``decide`` that delegates its coin flips to a helper, an algorithm that
+hands its ``view`` to a function which pokes ``view._ball``, a worker
+that passes an attached shm array into a routine that writes it.  The
+two-phase analyzer (:mod:`repro.lint.summaries`) closes that gap —
+phase 1 fixpoint-propagates per-function summary bits over the project
+call graph, and these rules report the precomputed whole-program
+findings under the ordinary per-file severity / suppression machinery.
+
+A project rule therefore does no AST walking of its own: ``run()``
+filters :meth:`ProjectIndex.findings_for` by rule id.  Outside a
+project run (plain :func:`repro.lint.core.analyze_source` with no
+``project=``), the rules are inert — interprocedural facts simply do
+not exist for a single module in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core import Rule
+
+__all__ = [
+    "TransitiveEntropyRule",
+    "TransitiveViewInternalsRule",
+    "TransitiveSharedWriteRule",
+]
+
+
+class _ProjectRule(Rule):
+    """Report phase-1 findings for this module, filtered by rule id."""
+
+    def run(self) -> List[Tuple[int, int, str]]:
+        if self.project is None:
+            return []
+        return [
+            (line, col, message)
+            for line, col, rule, message
+            in self.project.findings_for(self.ctx.path)
+            if rule == self.id
+        ]
+
+
+class TransitiveEntropyRule(_ProjectRule):
+    """IPD001: an entry point transitively reaches unseeded randomness.
+
+    Entry points are functions named ``decide``/``decide_batch`` and
+    every resolved ``fork_map`` worker (``fn=``/``initializer=``).  The
+    *local* case — the entry draws entropy itself — is DET001's finding;
+    IPD001 fires exactly when the draw is hidden in a callee, at any
+    depth, and reports the call chain that reaches it.  The fix is the
+    same as DET001's: thread a seeded rng (derive the seed with
+    ``repro.parallel.stable_seed``) through the chain.
+    """
+
+    id = "IPD001"
+    summary = ("decide/decide_batch/fork_map worker transitively reaches "
+               "unseeded randomness through its callees")
+
+
+class TransitiveViewInternalsRule(_ProjectRule):
+    """IPD002: a ``view`` escapes into a callee that reads ``_`` state.
+
+    ENG001 flags ``view._x`` inside functions that take a view; IPD002
+    follows the view parameter through calls — a function passing its
+    ``view``/``views`` bare into a (transitively) internals-reading
+    parameter gets flagged at the call site, with the read chain.  The
+    engine contract (docs/engine-contract.md) makes private attributes
+    unstable across engines; helpers do not get a pass for hiding the
+    access one frame down.
+    """
+
+    id = "IPD002"
+    summary = ("view escapes into a callee that (transitively) reads "
+               "engine-private View._* state")
+
+
+class TransitiveSharedWriteRule(_ProjectRule):
+    """IPD003: an attached shm object escapes into a writing callee.
+
+    SHM001 flags direct writes through names bound by
+    ``shared_graph``/``attach_graph``/``from_csr_buffers``; IPD003
+    follows those names into calls — passing an attached graph (or an
+    ``adjacency()`` array of one) bare into a parameter the callee
+    (transitively) writes is the same bug with a stack frame in the
+    middle: sibling workers map those exact pages.
+    """
+
+    id = "IPD003"
+    summary = ("attached shared-memory graph/array passed into a callee "
+               "that (transitively) writes it")

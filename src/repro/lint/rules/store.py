@@ -17,7 +17,7 @@ from typing import List, Tuple
 from ..core import Rule
 from .determinism import WallClockRule
 
-__all__ = ["StorePayloadPurityRule"]
+__all__ = ["StorePayloadPurityRule", "StoreKeyCompletenessRule"]
 
 #: the writer entry points: the atomic persistence helpers plus
 #: ``<...store...>.put(...)`` (a ResultStore write)
@@ -119,3 +119,38 @@ class StorePayloadPurityRule(Rule):
             if qual in self._SOURCES:
                 return qual
         return None
+
+
+class StoreKeyCompletenessRule(Rule):
+    """STORE002: every value shaping a stored payload must key it.
+
+    The store's correctness invariant is *payload bytes are a pure
+    function of the key parts* (docs/store.md).  STORE001 polices the
+    environmental half; STORE002 polices the dataflow half: at a
+    ``<store>.put(key, payload)`` whose key is (transitively) built by
+    ``stable_digest``/``stable_seed``/``<store>.key``, any enclosing-
+    function parameter that influences the payload but never flows into
+    the digested key parts means two calls differing only in that value
+    collide on one address — the second caller is silently served the
+    first caller's bytes.  Add the value to the key parts, or drop it
+    from the payload.
+
+    This is a whole-program check (key helpers live in other modules);
+    the findings come precomputed from :mod:`repro.lint.summaries`, so
+    the rule is inert outside a project run.
+    """
+
+    id = "STORE002"
+    summary = ("a value influences a stored payload but does not flow "
+               "into its stable_digest key — colliding addresses serve "
+               "stale bytes")
+
+    def run(self):
+        if self.project is None:
+            return []
+        return [
+            (line, col, message)
+            for line, col, rule, message
+            in self.project.findings_for(self.ctx.path)
+            if rule == self.id
+        ]

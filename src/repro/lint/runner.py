@@ -1,10 +1,21 @@
-"""File collection, parallel analysis and deterministic reports.
+"""File collection, two-phase parallel analysis, deterministic reports.
 
-The runner eats its own dogfood: files fan out over
-:func:`repro.parallel.fork_map` — the exact ordered-fan-out discipline
-DET005/PAR001 enforce — with a module-level worker, so ``--format json``
-output is byte-identical at every ``--jobs`` count (test-gated by
-``tests/test_lint.py``).
+The analyzer is summarize-then-check:
+
+* **phase 1 (summarize)** — every file fans out over
+  :func:`repro.parallel.fork_map` and reduces to plain-data
+  :class:`~repro.lint.callgraph.ModuleFacts`; the parent links the
+  project call graph, runs the summary fixpoints and precomputes the
+  interprocedural findings (:func:`repro.lint.summaries.link_project`).
+* **phase 2 (check)** — files fan out again, each worker receiving the
+  finished :class:`~repro.lint.summaries.ProjectIndex` once through the
+  pool initializer; the per-module rules run as before, and the IPD/
+  STORE002 rules just report their precomputed findings.
+
+Both phases use ordered ``fork_map`` with module-level workers — the
+exact fan-out discipline DET005/PAR001 enforce — and phase 2 only ever
+*reads* the shipped index, so ``--format json`` output is byte-identical
+at every ``--jobs`` count (test-gated by ``tests/test_lint.py``).
 """
 
 from __future__ import annotations
@@ -18,8 +29,9 @@ from ..parallel import fork_map
 from .baseline import BaselineKey, load_baseline, split_findings
 from .config import normalize_path
 from .core import Finding, analyze_file
+from .summaries import ProjectIndex, extract_module_facts, link_project
 
-__all__ = ["LintReport", "collect_files", "run_lint"]
+__all__ = ["LintReport", "collect_files", "run_lint", "build_index"]
 
 
 def collect_files(paths: Sequence[str],
@@ -54,10 +66,30 @@ def collect_files(paths: Sequence[str],
     return [(out[display], display) for display in sorted(out)]
 
 
-def _analyze_task(task: Tuple[str, str]) -> List[Finding]:
-    """fork_map worker: lint one file (module-level, hence picklable)."""
+def _summarize_task(task: Tuple[str, str]):
+    """Phase-1 fork_map worker: one file → its ModuleFacts."""
     abs_path, display_path = task
-    return analyze_file(abs_path, display_path)
+    with open(abs_path, encoding="utf-8") as fh:
+        source = fh.read()
+    return extract_module_facts(display_path, source)
+
+
+#: the ProjectIndex each phase-2 worker receives via the pool
+#: initializer (set in-process when ``--jobs 1`` — fork_map runs the
+#: initializer inline then)
+_PROJECT: Optional[ProjectIndex] = None
+
+
+def _set_project(index: ProjectIndex) -> None:
+    global _PROJECT
+    _PROJECT = index
+
+
+def _analyze_task(task: Tuple[str, str]) -> List[Finding]:
+    """Phase-2 fork_map worker: lint one file against the shipped index
+    (module-level, hence picklable)."""
+    abs_path, display_path = task
+    return analyze_file(abs_path, display_path, project=_PROJECT)
 
 
 @dataclass
@@ -121,6 +153,14 @@ class LintReport:
         return "\n".join(lines) + "\n"
 
 
+def build_index(tasks: Sequence[Tuple[str, str]],
+                jobs: int = 1) -> ProjectIndex:
+    """Phase 1 over collected files: summarize in parallel, link in the
+    parent.  Exposed for tests and ``benchmarks/bench_lint.py``."""
+    facts = fork_map(_summarize_task, list(tasks), workers=jobs)
+    return link_project(facts)
+
+
 def run_lint(
     paths: Sequence[str],
     jobs: int = 1,
@@ -129,7 +169,9 @@ def run_lint(
 ) -> LintReport:
     """Lint ``paths`` with ``jobs`` workers, honouring a baseline file."""
     tasks = collect_files(paths, root=root)
-    per_file = fork_map(_analyze_task, tasks, workers=jobs)
+    index = build_index(tasks, jobs=jobs)
+    per_file = fork_map(_analyze_task, tasks, workers=jobs,
+                        initializer=_set_project, initargs=(index,))
     findings = sorted(f for file_findings in per_file
                       for f in file_findings)
     baseline = load_baseline(baseline_path) if baseline_path else {}

@@ -43,6 +43,10 @@ class TestRegistry:
         assert ids == sorted(ids) and len(set(ids)) == len(ids)
         assert all(r.summary for r in rules)
 
+    def test_interprocedural_family_registered(self):
+        ids = {r.id for r in all_rules()}
+        assert {"IPD001", "IPD002", "IPD003", "STORE002"} <= ids
+
 
 class TestDET001UnseededRandom:
     def test_unseeded_random_and_global_draws_fire(self):
@@ -118,6 +122,23 @@ class TestDET004SetIteration:
                "    print(v)\n"
                "m = min([v for v in s])\n")
         assert rule_ids(src) == []
+
+    def test_starred_display_wrappers_fire(self):
+        # [*s] / (*s,) freeze set order exactly like list(s)/tuple(s)
+        assert rule_ids("s = {1, 2}\ny = [*s]\n") == ["DET004"]
+        assert rule_ids("s = {1, 2}\ny = (*s,)\n") == ["DET004"]
+
+    def test_star_argument_splat_fires(self):
+        assert rule_ids("s = {1, 2}\nprint(*s)\n") == ["DET004"]
+
+    def test_sorted_starred_display_is_clean(self):
+        assert rule_ids("s = {1, 2}\ny = sorted([*s])\n") == []
+        assert rule_ids("s = {1, 2}\ny = set([*s])\n") == []
+
+    def test_conversion_into_order_free_sink_is_clean(self):
+        # the wrapper's arbitrary order never escapes sorted()/min()
+        assert rule_ids("s = {1, 2}\ny = sorted(list(s))\n") == []
+        assert rule_ids("s = {1, 2}\ny = min(tuple(s))\n") == []
 
 
 class TestDET005UnorderedPool:
@@ -325,6 +346,14 @@ class TestFramework:
             == "warning"
         assert severity_for("src/repro/x.py", "DET001", "error") == "error"
 
+    def test_examples_wildcard_demotes_every_rule(self):
+        assert severity_for("examples/demo.py", "DET001", "error") \
+            == "warning"
+        assert severity_for("examples/demo.py", "IPD003", "error") \
+            == "warning"
+        # a wildcard elsewhere does not leak out of its prefix
+        assert severity_for("src/repro/x.py", "IPD003", "error") == "error"
+
 
 class TestBaseline:
     def test_round_trip_and_split(self, tmp_path):
@@ -427,5 +456,16 @@ class TestCLI:
     def test_list_rules(self):
         proc = _run_cli("--list-rules")
         assert proc.returncode == 0
-        for rule_id in ("DET001", "DET004", "ENG002", "PAR001", "SHM001"):
+        for rule_id in ("DET001", "DET004", "ENG002", "PAR001", "SHM001",
+                        "IPD001", "IPD002", "IPD003", "STORE002"):
             assert rule_id in proc.stdout
+
+    def test_examples_linted_by_default(self):
+        proc = _run_cli()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        # file count covers examples/ on top of src+tests+benchmarks
+        explicit = _run_cli("src", "tests", "benchmarks")
+        count = int(proc.stdout.rsplit(" files", 1)[0].rsplit()[-1])
+        explicit_count = int(
+            explicit.stdout.rsplit(" files", 1)[0].rsplit()[-1])
+        assert count > explicit_count
